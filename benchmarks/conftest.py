@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures.  The
+simulations are deterministic and expensive, so each bench executes
+its workload exactly once (``rounds=1``) — the benchmark timer then
+records how long regenerating that result takes, and the assertions
+check the paper's *shape* (who wins, by roughly what factor, where
+crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a workload exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

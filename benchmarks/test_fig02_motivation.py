@@ -1,0 +1,33 @@
+"""Figure 2 bench: the motivating 3-pair network.
+
+Paper's shape: omniscient ~1.76x DCF and ~1.61x CENTAUR overall;
+DOMINO close to omniscient; under DCF the hidden link starves and the
+uplink exposes; under the centralized schemes the uplink transmits in
+every slot while the two conflicting downlinks alternate.
+"""
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_motivation(once):
+    result = once(fig02_motivation.run, 800_000.0)
+    print()
+    print(fig02_motivation.report(result))
+
+    overall = result.overall_mbps
+    # Ordering: DCF < CENTAUR < DOMINO <= omniscient.
+    assert overall["dcf"] < overall["centaur"] < overall["domino"]
+    assert overall["domino"] <= overall["omniscient"] * 1.02
+    # Omniscient well above the distributed schemes (paper: 1.76x DCF).
+    assert overall["omniscient"] / overall["dcf"] > 1.5
+    assert overall["omniscient"] / overall["centaur"] > 1.35
+    # DOMINO close to the omniscient bound (paper: "performs close").
+    assert overall["domino"] / overall["omniscient"] > 0.80
+
+    from repro.topology.links import Link
+    domino = result.per_link_mbps["domino"]
+    dcf = result.per_link_mbps["dcf"]
+    # The uplink rides every slot under DOMINO; downlinks alternate.
+    assert domino[Link(3, 2)] > 1.7 * domino[Link(0, 1)]
+    # DCF's hidden terminal starves relative to DOMINO's schedule.
+    assert dcf[Link(4, 5)] < 0.5 * domino[Link(4, 5)]

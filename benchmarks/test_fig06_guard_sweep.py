@@ -1,0 +1,25 @@
+"""Figure 6 bench: decoding ratio vs RSS difference per guard count.
+
+Paper's shape: more guard subcarriers tolerate bigger RSS mismatches;
+three guards are sufficient up to ~38 dB while zero guards collapse
+below 25 dB.
+"""
+
+from repro.experiments import fig05_fig06_rop
+
+
+def test_fig06_guard_sweep(once):
+    result = once(fig05_fig06_rop.run_fig6, 120)
+    print()
+    print(fig05_fig06_rop.report(fig05_fig06_rop.run_fig5(), result))
+
+    # Tolerance grows monotonically with the guard count.
+    tolerances = [result.tolerance_db(g) for g in (0, 1, 2, 3)]
+    assert tolerances == sorted(tolerances)
+    # Three guards hold deep into the thirties (paper: ~38 dB) ...
+    assert result.tolerance_db(3) >= 30.0
+    assert result.curves[3][35.0] >= 0.95
+    # ... while no guards collapse by 25-30 dB.
+    assert result.curves[0][30.0] <= 0.5
+    # And at 4 guards nothing regresses.
+    assert result.curves[4][35.0] >= result.curves[3][35.0] - 0.05

@@ -1,0 +1,25 @@
+"""Figure 9 bench: signature detection vs number of combined signatures.
+
+Paper's shape: nearly 100 % detection in every setup while the
+combined count stays at or below 4 (DOMINO's outbound cap), clear
+degradation beyond, false positives below ~1 %.
+"""
+
+from repro.experiments import fig09_signatures
+
+
+def test_fig09_detection(once):
+    result = once(fig09_signatures.run, 300)
+    print()
+    print(fig09_signatures.report(result))
+
+    # ~100 % at the cap of 4 for every setup.
+    for n in (1, 2, 3, 4):
+        assert result.worst_at(n) >= 0.90
+    # Degradation past the cap (paper: curves fall from 5 onward).
+    assert result.worst_at(6) < 0.80
+    for setup in fig09_signatures.FIG9_SETUPS:
+        assert result.detection(setup, 7) <= \
+            result.detection(setup, 3) + 0.02
+    # False positives stay low (paper: < 1 %).
+    assert result.false_positive_ratio() < 0.015

@@ -1,0 +1,30 @@
+"""Figure 11 bench: misalignment convergence vs wired jitter.
+
+Paper's shape: initial misalignment grows with the wired-latency
+variance (10-20 us over the swept settings) and collapses to 1-2 us
+within a few slots for every setting.
+"""
+
+from repro.experiments import fig11_misalignment
+
+
+def test_fig11_misalignment(once):
+    result = once(fig11_misalignment.run)
+    print()
+    print(fig11_misalignment.report(result))
+
+    series = result.series
+    # Initial misalignment grows with the variance setting.
+    initial = [series[v][0] for v in fig11_misalignment.VARIANCES_US2]
+    assert initial == sorted(initial)
+    assert initial[0] > 5.0
+    assert initial[-1] > 15.0
+    # Small-jitter settings align within 4 slots (paper's claim);
+    # the large ones within 6 (one poll cycle later than the paper).
+    assert result.converged_within(20.0, slots=4)
+    assert result.converged_within(40.0, slots=6)
+    assert result.converged_within(60.0, slots=6)
+    assert result.converged_within(80.0, slots=6)
+    # Converged residual is microsecond-scale everywhere.
+    for variance in fig11_misalignment.VARIANCES_US2:
+        assert max(series[variance][6:]) <= 2.5

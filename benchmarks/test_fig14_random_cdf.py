@@ -1,0 +1,27 @@
+"""Figure 14 bench: CDF of DOMINO/DCF gain over random T(20,3) networks.
+
+Paper's shape: gains between 1.22x and 1.96x over 50 runs, median
+~1.58x — DOMINO wins on every random draw, with the spread coming
+from how much exposure/hidden structure each placement happens to
+contain.  (The bench uses 12 draws to stay within a benchmark-friendly
+runtime; ``fig14_random.run(n_runs=50)`` reproduces the full figure.)
+"""
+
+from repro.experiments import fig14_random
+
+N_RUNS = 12
+
+
+def test_fig14_random_cdf(once):
+    result = once(fig14_random.run, N_RUNS, 20, 3, 500_000.0)
+    print()
+    print(fig14_random.report(result))
+
+    gains = result.sorted_gains()
+    assert len(gains) == N_RUNS
+    # DOMINO wins on (essentially) every draw; allow one borderline.
+    assert sum(1 for g in gains if g > 1.0) >= N_RUNS - 1
+    # The spread and centre sit in the paper's band.
+    assert 1.0 <= gains[0] <= 1.6
+    assert 1.4 <= result.median <= 2.2
+    assert gains[-1] <= 2.6

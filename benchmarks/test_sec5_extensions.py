@@ -1,0 +1,55 @@
+"""Sec. 5 extension benches: signature lengths, energy, coexistence.
+
+Shapes: longer Gold codes buy capacity and discrimination for airtime
+(127 chips = the paper's sweet spot at ~3 % slot overhead); an idle
+constrained client sleeps away most of the run at zero throughput
+cost; the CFP/CoP split rescues an external network from starvation
+while DOMINO keeps the larger share.
+"""
+
+from repro.experiments import sec5_extensions
+
+
+def test_signature_length_tradeoff(once):
+    rows = once(sec5_extensions.run_signature_lengths)
+    print()
+    print(sec5_extensions.report_signature_lengths(rows))
+
+    by_length = {r.length: r for r in rows}
+    assert 127 in by_length and 511 in by_length
+    # Sec. 5's capacity claim per family.
+    for row in rows:
+        assert row.supports_paper_claim
+    # Monotone trade-off: capacity and discrimination vs overhead.
+    lengths = sorted(by_length)
+    for a, b in zip(lengths, lengths[1:]):
+        assert by_length[b].assignable_nodes > by_length[a].assignable_nodes
+        assert by_length[b].slot_overhead_fraction > \
+            by_length[a].slot_overhead_fraction
+        assert by_length[b].discrimination_db >= \
+            by_length[a].discrimination_db - 1e-9
+    # The paper's choice (127) costs only ~3 % of the slot.
+    assert by_length[127].slot_overhead_fraction < 0.04
+    assert by_length[127].signature_us == 6.35
+
+
+def test_energy_saving(once):
+    result = once(sec5_extensions.run_energy)
+    print()
+    print(sec5_extensions.report_energy(result))
+
+    assert result.sleep_fraction > 0.5        # most of the run asleep
+    assert result.sleepy_mbps > 0.95 * result.baseline_mbps
+
+
+def test_coexistence(once):
+    result = once(sec5_extensions.run_coexistence)
+    print()
+    print(sec5_extensions.report_coexistence(result))
+
+    # Without CoP gaps the external network starves behind the NAV.
+    assert result.external_mbps_without_cop < 0.3
+    # With them it gets real service while DOMINO keeps the majority.
+    assert result.external_mbps > 1.0
+    assert result.internal_mbps > result.external_mbps
+    assert result.mean_cop_us > 0.0

@@ -1,0 +1,31 @@
+"""Table 2 bench: USRP prototype throughput, DOMINO vs DCF.
+
+Paper's shape: Kbps-scale throughput on the host-latency-bound USRP
+PHY; DOMINO ~1.5x DCF in the plain contention (SC) case and ~2.5-3.4x
+under hidden (HT) / exposed (ET) terminals; DOMINO's ET doubles its SC
+because the exposed links run concurrently.
+"""
+
+from repro.experiments import tab02_usrp
+
+
+def test_tab02_usrp(once):
+    result = once(tab02_usrp.run, 60_000_000.0)
+    print()
+    print(tab02_usrp.report(result))
+
+    kbps = result.kbps
+    # Single-digit Kbps, the prototype's regime.
+    for scheme in ("DOMINO", "DCF"):
+        for scenario in tab02_usrp.SCENARIOS:
+            assert 0.5 < kbps[scheme][scenario] < 30.0
+    # DOMINO beats DCF everywhere; modestly in SC, heavily otherwise.
+    assert 1.1 < result.ratio("SC") < 2.2
+    assert result.ratio("HT") > 1.8
+    assert result.ratio("ET") > 1.8
+    assert result.ratio("HT") > result.ratio("SC")
+    assert result.ratio("ET") > result.ratio("SC")
+    # Hidden terminals crater DCF specifically.
+    assert kbps["DCF"]["HT"] < 0.7 * kbps["DCF"]["SC"]
+    # Exposed concurrency doubles DOMINO's SC throughput.
+    assert kbps["DOMINO"]["ET"] > 1.7 * kbps["DOMINO"]["SC"]

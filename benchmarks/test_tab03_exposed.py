@@ -1,0 +1,28 @@
+"""Table 3 bench: exposed-link topologies (Fig. 13a / 13b).
+
+Paper's shape (Mbps — DOMINO / CENTAUR / DCF):
+  Fig. 13a: 32.72 / 28.60 /  9.97  — both centralized schemes ~3x DCF
+  Fig. 13b: 33.85 / 18.35 / 22.13  — CENTAUR falls BELOW DCF
+and DOMINO delivers the same throughput on both.
+"""
+
+from repro.experiments import tab03_exposed
+
+
+def test_tab03_exposed(once):
+    result = once(tab03_exposed.run, 800_000.0)
+    print()
+    print(tab03_exposed.report(result))
+
+    a = result.mbps["fig13a"]
+    b = result.mbps["fig13b"]
+    # 13a: DCF serializes; the centralized schemes exploit exposure.
+    assert a["domino"] > 2.8 * a["dcf"]
+    assert a["centaur"] > 1.6 * a["dcf"]
+    assert a["domino"] > a["centaur"] > a["dcf"]
+    # 13b: the alignment assumption collapses — CENTAUR under DCF.
+    assert b["centaur"] < b["dcf"]
+    # DCF itself does fine on 13b (senders do not hear each other).
+    assert b["dcf"] > 1.8 * a["dcf"]
+    # DOMINO is topology-blind across the two (paper: ~3 % apart).
+    assert abs(a["domino"] - b["domino"]) / a["domino"] < 0.05

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Enterprise WLAN study: four channel-access schemes on T(10, 2).
+
+Carves the paper's T(10, 2) topology (10 APs, 2 clients each) out of
+the synthetic two-building RSS trace, reports its hidden/exposed
+census, then runs DCF, CENTAUR, DOMINO and the omniscient bound under
+mixed up/downlink UDP — the Fig. 12 setting at one sweep point.
+
+Run:  python examples/enterprise_wlan.py [uplink_mbps]
+"""
+
+import sys
+
+from repro.experiments.common import run_scheme
+from repro.topology.builder import build_t_topology
+from repro.topology.trace import two_building_trace
+
+HORIZON_US = 1_000_000.0
+DOWNLINK_MBPS = 10.0
+
+
+def main():
+    uplink = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    trace = two_building_trace()
+    topology = build_t_topology(trace, 10, 2, seed=3)
+    imap = topology.interference_map()
+    census = imap.census(topology.flows)
+
+    print(f"topology {topology.name}: {len(topology.network.aps)} APs, "
+          f"{len(topology.network.clients)} clients, "
+          f"{len(topology.flows)} flows")
+    print(f"link-pair census: {census['hidden']} hidden, "
+          f"{census['exposed']} exposed, {census['conflict']} other "
+          f"conflicts, {census['independent']} independent "
+          f"(paper's trace: 10 hidden, 62 exposed)")
+    print(f"traffic: {DOWNLINK_MBPS} Mbps down / {uplink} Mbps up "
+          f"per flow, {HORIZON_US / 1e6:.0f} s\n")
+
+    print(f"{'scheme':<12} {'Mbps':>6} {'Jain':>6} {'delay ms':>9}")
+    for scheme in ("dcf", "centaur", "domino", "omniscient"):
+        result = run_scheme(scheme, topology, horizon_us=HORIZON_US,
+                            downlink_mbps=DOWNLINK_MBPS,
+                            uplink_mbps=uplink)
+        print(f"{scheme:<12} {result.aggregate_mbps:>6.1f} "
+              f"{result.fairness:>6.2f} "
+              f"{result.mean_delay_us / 1000.0:>9.0f}")
+    print("\nDOMINO closes most of the gap to the omniscient bound "
+          "while DCF and CENTAUR\nleave the exposed-terminal capacity "
+          "on the table.")
+
+
+if __name__ == "__main__":
+    main()

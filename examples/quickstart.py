@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: DOMINO vs DCF on the paper's motivating network.
+
+Builds the Fig. 1 topology (one hidden-terminal pair, one exposed
+pair), saturates all three flows, and runs one simulated second under
+plain 802.11 DCF and under DOMINO's relative scheduling.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_domino_network
+from repro.mac.dcf import DcfMac
+from repro.metrics.stats import FlowRecorder
+from repro.sim.engine import Simulator
+from repro.topology.builder import fig1_topology
+from repro.traffic.udp import SaturatedSource
+
+HORIZON_US = 1_000_000.0  # one simulated second
+NAMES = {0: "AP1", 1: "C1", 2: "AP2", 3: "C2", 4: "AP3", 5: "C3"}
+
+
+def run_dcf():
+    topology = fig1_topology()
+    sim = Simulator(seed=1)
+    medium = topology.build_medium(sim)
+    macs = {node.node_id: DcfMac(sim, node, medium)
+            for node in topology.network}
+    recorder = FlowRecorder(topology.flows)
+    recorder.attach_all(macs.values())
+    for flow in topology.flows:
+        SaturatedSource(sim, macs[flow.src], flow.dst).start()
+    sim.run(until=HORIZON_US)
+    return topology, recorder
+
+
+def run_domino():
+    topology = fig1_topology()
+    sim = Simulator(seed=1)
+    net = build_domino_network(sim, topology)
+    recorder = FlowRecorder(topology.flows)
+    recorder.attach_all(net.macs.values())
+    for flow in topology.flows:
+        SaturatedSource(sim, net.macs[flow.src], flow.dst).start()
+    net.controller.start()
+    sim.run(until=HORIZON_US)
+    return topology, recorder
+
+
+def main():
+    print("Fig. 1 network: AP1 hidden to AP3, C2/AP1 exposed; all "
+          "flows saturated.\n")
+    results = {"DCF": run_dcf(), "DOMINO": run_domino()}
+    for name, (topology, recorder) in results.items():
+        print(f"{name}:")
+        for flow in topology.flows:
+            throughput = recorder.flow_throughput_mbps(flow, HORIZON_US)
+            print(f"  {NAMES[flow.src]}->{NAMES[flow.dst]}: "
+                  f"{throughput:5.2f} Mbps")
+        print(f"  overall: "
+              f"{recorder.aggregate_throughput_mbps(HORIZON_US):5.2f} Mbps\n")
+    dcf = results["DCF"][1].aggregate_throughput_mbps(HORIZON_US)
+    domino = results["DOMINO"][1].aggregate_throughput_mbps(HORIZON_US)
+    print(f"DOMINO/DCF gain: {domino / dcf:.2f}x "
+          "(the paper reports up to 1.96x on larger networks)")
+    print("Note how DCF starves the hidden link AP3->C3 and serializes "
+          "the exposed uplink,\nwhile DOMINO alternates the conflicting "
+          "downlinks and runs C2->AP2 in every slot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A tour of relative scheduling's machinery on the Fig. 7 network.
+
+Walks through what the DOMINO controller does to a strict schedule:
+
+1. build the link conflict graph from the interference map;
+2. produce the Fig. 7(c) strict schedule with the RAND scheduler;
+3. convert it: fake-link insertion, trigger assignment (inbound <= 2,
+   outbound <= 4), ROP slot insertion;
+4. execute the relative schedule over the simulated medium and render
+   the Fig. 10-style timeline, including the misalignment healing.
+
+Run:  python examples/relative_scheduling_tour.py
+"""
+
+from repro.core import build_domino_network
+from repro.core.converter import ScheduleConverter
+from repro.metrics.stats import FlowRecorder
+from repro.sched.rand_scheduler import RandScheduler
+from repro.sim.engine import Simulator
+from repro.topology.builder import fig7_topology
+from repro.topology.conflict_graph import build_conflict_graph
+from repro.traffic.udp import SaturatedSource
+
+NAMES = {0: "AP1", 1: "C1", 2: "AP2", 3: "C2",
+         4: "AP3", 5: "C3", 6: "AP4", 7: "C4"}
+
+
+def name(node_id):
+    return NAMES.get(node_id, str(node_id))
+
+
+def show_conversion():
+    topology = fig7_topology()
+    imap = topology.interference_map()
+    universe = list(topology.flows)
+    for link in topology.all_association_links():
+        if link not in universe:
+            universe.append(link)
+    graph = build_conflict_graph(imap, universe)
+
+    print("conflict graph edges over the downlinks:")
+    for a, b in graph.edges:
+        if a in topology.flows and b in topology.flows:
+            print(f"  {name(a.src)}->{name(a.dst)}  x  "
+                  f"{name(b.src)}->{name(b.dst)}")
+
+    scheduler = RandScheduler(graph, universe,
+                              set_check=imap.set_survives)
+    strict = scheduler.schedule_batch({l: 2 for l in topology.flows},
+                                      max_slots=4)
+    print("\nstrict schedule (RAND):")
+    for i, slot in enumerate(strict):
+        print(f"  slot {i}: "
+              + ", ".join(f"{name(l.src)}->{name(l.dst)}" for l in slot))
+
+    converter = ScheduleConverter(imap, graph, fake_candidates=universe)
+    ap_links = {ap.node_id: [l for l in universe
+                             if topology.network.ap_of(l.src) == ap.node_id]
+                for ap in topology.network.aps}
+    batch = converter.convert(strict,
+                              rop_aps=[ap.node_id
+                                       for ap in topology.network.aps],
+                              ap_links=ap_links)
+    print("\nrelative schedule after conversion:")
+    for slot in batch.slots:
+        entries = ", ".join(
+            f"{name(e.link.src)}->{name(e.link.dst)}"
+            + ("(fake)" if e.fake else "")
+            for e in slot.entries
+        )
+        rop = (f"   [ROP after: "
+               f"{', '.join(name(a) for a in slot.rop_after)}]"
+               if slot.rop_after else "")
+        print(f"  slot {slot.index}: {entries}{rop}")
+    print("\ntrigger duties (who broadcasts whose signature):")
+    for (node, slot_idx), duty in sorted(batch.duties.items(),
+                                         key=lambda kv: (kv[0][1], kv[0][0])):
+        targets = ", ".join(name(t) for t in sorted(duty.targets))
+        extras = []
+        if duty.rop_polls:
+            extras.append("polls: "
+                          + ", ".join(name(a)
+                                      for a in sorted(duty.rop_polls)))
+        if duty.rop_flag:
+            extras.append("ROP signature")
+        suffix = f"  ({'; '.join(extras)})" if extras else ""
+        print(f"  slot {slot_idx}: {name(node)} -> [{targets}]{suffix}")
+
+
+def show_execution():
+    topology = fig7_topology(uplinks=True)
+    sim = Simulator(seed=5)
+    net = build_domino_network(sim, topology)
+    recorder = FlowRecorder(topology.flows)
+    recorder.attach_all(net.macs.values())
+    for flow in topology.flows:
+        SaturatedSource(sim, net.macs[flow.src], flow.dst).start()
+    net.controller.start()
+    sim.run(until=60_000.0)
+
+    print("\nexecution timeline (D=data, f=fake, P=poll):\n")
+    print(net.timeline.render(0, 12, names=NAMES))
+    table = net.timeline.misalignment_by_slot()
+    shown = [f"{table.get(i, 0.0):.1f}" for i in range(8)]
+    print(f"\nmax misalignment per slot (us): {' '.join(shown)}")
+    print("(wired jitter desynchronizes slot 0; triggers and the ROP "
+          "reference broadcasts\nre-align everything within a few slots; "
+          "clusters that barely interfere may keep\na constant offset "
+          "until a poll gets through, which is harmless)")
+
+
+if __name__ == "__main__":
+    show_conversion()
+    show_execution()

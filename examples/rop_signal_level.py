@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Signal-level tour: Gold-code triggers and the ROP control symbol.
+
+Everything in this example runs at complex baseband, no event
+simulation involved:
+
+1. generate the 129-code Gold family the paper uses for node
+   signatures; show the correlation properties that make triggering
+   through collisions possible;
+2. combine several signatures into one burst (what a trigger broadcast
+   is) and detect one of them with the sliding correlator;
+3. build one ROP OFDM symbol carrying six clients' queue lengths and
+   decode all of them at the AP — including a deliberately 30 dB
+   weaker client saved by the guard subcarriers.
+
+Run:  python examples/rop_signal_level.py
+"""
+
+import random
+
+from repro.core.correlator import (ChannelConfig, SignatureDetector,
+                                   synthesize_burst)
+from repro.core.ofdm import (ClientSignal, RopSymbolDecoder,
+                             aggregate_at_ap)
+from repro.core.signatures import gold_family, max_cross_correlation
+
+
+def tour_signatures():
+    family = gold_family(7)
+    print(f"Gold family: {family.family_size} codes of length "
+          f"{family.length}")
+    print(f"  self-correlation peak: {family.length}")
+    print(f"  worst cross-correlation (sampled): "
+          f"{max(max_cross_correlation(family.code(i), family.code(j)) for i, j in [(2, 3), (4, 40), (7, 100)])}"
+          f"  (theory bound: {family.correlation_bound()})")
+
+    detector = SignatureDetector(family)
+    rng = random.Random(7)
+    config = ChannelConfig(snr_db=12.0)
+    combined = [10, 11, 12, 13]  # one burst carrying four signatures
+    burst = synthesize_burst(family, [combined], config, rng)
+    print(f"\none burst combining signatures {combined}:")
+    for probe in (10, 13, 77):
+        hit = detector.detect(burst, family.code(probe))
+        present = probe in combined
+        print(f"  probe code {probe:>3}: detected={hit!s:<5} "
+              f"(transmitted={present})")
+
+
+def tour_rop():
+    rng = random.Random(3)
+    queue_lengths = {k: rng.randint(0, 63) for k in range(6)}
+    clients = []
+    for subchannel, queue_len in queue_lengths.items():
+        amplitude = 10.0 ** (-30.0 / 20.0) if subchannel == 2 else 1.0
+        clients.append(ClientSignal(
+            subchannel=subchannel, queue_len=queue_len,
+            amplitude=amplitude,
+            cfo_fraction=rng.uniform(-0.005, 0.005),
+            timing_offset_samples=rng.randint(0, 30),
+            phase=rng.uniform(0, 6.28),
+            skirt_seed=rng.getrandbits(32),
+        ))
+    received = aggregate_at_ap(clients)
+    decoder = RopSymbolDecoder()
+    results = decoder.decode_all(received, clients)
+
+    print("\nROP: six clients answer one poll with one OFDM symbol")
+    print("(client on subchannel 2 is 30 dB weaker than its neighbours)")
+    print(f"  {'subchannel':>10} {'sent':>5} {'decoded':>8}")
+    for client in clients:
+        outcome = results[client.subchannel]
+        mark = "ok" if outcome.queue_len == client.queue_len else "BAD"
+        print(f"  {client.subchannel:>10} {client.queue_len:>5} "
+              f"{outcome.queue_len:>8}  {mark}")
+
+
+if __name__ == "__main__":
+    tour_signatures()
+    tour_rop()

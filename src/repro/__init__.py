@@ -1,0 +1,33 @@
+"""repro — a full reproduction of DOMINO (CoNEXT 2013).
+
+DOMINO: Relative Scheduling in Enterprise Wireless LANs
+(W. Zhou, D. Li, K. Srinivasan, P. Sinha).
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.topology import fig1_topology
+    from repro.core import build_domino_network
+    from repro.traffic import SaturatedSource
+    from repro.metrics import FlowRecorder
+
+    topo = fig1_topology()
+    sim = Simulator(seed=1)
+    net = build_domino_network(sim, topo)
+    recorder = FlowRecorder(topo.flows)
+    recorder.attach_all(net.macs.values())
+    for flow in topo.flows:
+        SaturatedSource(sim, net.macs[flow.src], flow.dst).start()
+    net.controller.start()
+    sim.run(until=1_000_000.0)  # one second
+    print(recorder.aggregate_throughput_mbps(1_000_000.0), "Mbps")
+
+Packages: :mod:`repro.sim` (event-driven wireless substrate),
+:mod:`repro.topology`, :mod:`repro.sched`, :mod:`repro.mac`
+(baselines), :mod:`repro.traffic`, :mod:`repro.core` (DOMINO),
+:mod:`repro.metrics`, :mod:`repro.experiments` (paper figures/tables).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

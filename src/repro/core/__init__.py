@@ -1,0 +1,56 @@
+"""DOMINO core: the paper's contribution.
+
+Gold-code signatures and their correlation detector (Fig. 9), the ROP
+control-symbol PHY (Table 1, Fig. 5/6) and protocol, the relative
+schedule representation, the strict-to-relative schedule converter
+(Sec. 3.3), the calibrated trigger-detection model, the per-node
+DOMINO MAC, and the central controller.
+"""
+
+from .coexistence import (CoexistenceConfig, CoexistencePlanner,
+                          CopOccupancyMeter)
+from .controller import (ControllerConfig, DominoController, DominoNetwork,
+                         build_domino_network)
+from .converter import ConverterConfig, ScheduleConverter
+from .energy import (EnergyAccountant, annotate_programs,
+                     involvement_slots, sleep_windows)
+from .correlator import (FIG9_SETUPS, ChannelConfig, DetectionResult,
+                         SignatureDetector, detection_curve,
+                         run_detection_experiment, synthesize_burst)
+from .domino_mac import DominoMac, DominoStats, SlotTiming
+from .ofdm import (DEFAULT_PARAMS, MAX_QUEUE_REPORT, ClientSignal,
+                   OfdmParams, RopSymbolDecoder, aggregate_at_ap,
+                   build_client_waveform, bits_to_queue_len,
+                   queue_len_to_bits, rss_difference_tolerance_experiment,
+                   snr_floor_experiment)
+from .relative_schedule import (NodeProgram, RelativeBatch, RelativeSlot,
+                                SlotEntry, TriggerDuty, build_programs)
+from .rop import (GUARD_TOLERANCE_DB, MIN_REPORT_SNR_DB, ReportObservation,
+                  RopDecoder, SubchannelPlan, plan_subchannels,
+                  rop_slot_duration_us)
+from .signatures import (GoldFamily, SignatureAssigner, gold_family,
+                         lfsr_m_sequence, max_cross_correlation,
+                         periodic_cross_correlation)
+from .trigger_model import (PerfectTriggerModel, TriggerDetectionModel,
+                            calibrate_from_experiment)
+
+__all__ = [
+    "ChannelConfig", "ClientSignal", "CoexistenceConfig",
+    "CoexistencePlanner", "ControllerConfig", "ConverterConfig",
+    "CopOccupancyMeter", "EnergyAccountant", "annotate_programs",
+    "involvement_slots", "sleep_windows",
+    "DEFAULT_PARAMS", "DetectionResult", "DominoController", "DominoMac",
+    "DominoNetwork", "DominoStats", "FIG9_SETUPS", "GUARD_TOLERANCE_DB",
+    "GoldFamily", "MAX_QUEUE_REPORT", "MIN_REPORT_SNR_DB", "NodeProgram",
+    "OfdmParams", "PerfectTriggerModel", "RelativeBatch", "RelativeSlot",
+    "ReportObservation", "RopDecoder", "RopSymbolDecoder",
+    "ScheduleConverter", "SignatureAssigner", "SignatureDetector",
+    "SlotEntry", "SlotTiming", "SubchannelPlan", "TriggerDetectionModel",
+    "aggregate_at_ap", "bits_to_queue_len", "build_client_waveform",
+    "build_domino_network", "build_programs", "calibrate_from_experiment",
+    "detection_curve", "gold_family", "lfsr_m_sequence",
+    "max_cross_correlation", "periodic_cross_correlation",
+    "plan_subchannels", "queue_len_to_bits", "rop_slot_duration_us",
+    "rss_difference_tolerance_experiment", "run_detection_experiment",
+    "snr_floor_experiment", "synthesize_burst",
+]

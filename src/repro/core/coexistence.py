@@ -1,0 +1,142 @@
+"""Coexistence with external networks: CFP/CoP periods (Sec. 5, Fig. 15).
+
+Enterprise deployments share spectrum with WiFi networks they do not
+control.  DOMINO's answer: divide time into a **contention-free
+period** (CFP — the relative schedule runs, and every transmitted
+packet's NAV field reserves the medium to the end of the CFP, so
+standard-compliant external nodes defer) and a **contention period**
+(CoP — everyone, external nodes included, uses plain carrier sensing).
+"The server estimates the amount of external traffic and internal
+traffic during the contention period, and adjusts the durations of the
+following CFP and CoP to provide fair access to all traffic"; under
+light internal load the CFP collapses to zero and the network behaves
+as ordinary DCF.
+
+This module provides the period planner/adaptor; the hooks live in
+:class:`~repro.core.controller.DominoController` (gap scheduling,
+occupancy reports) and the MACs (NAV stamping and honouring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class CoexistenceConfig:
+    """Static bounds for the CFP/CoP split."""
+
+    enabled: bool = True
+    initial_cop_us: float = 2_000.0
+    min_cop_us: float = 500.0
+    max_cop_us: float = 20_000.0
+    #: Exponential smoothing factor for occupancy estimates.
+    smoothing: float = 0.3
+    #: Internal demand (packets/batch) below which the CFP turns off.
+    light_traffic_demand: int = 1
+
+
+@dataclass
+class CoexistencePlanner:
+    """Adaptive CFP/CoP duration controller.
+
+    The controller feeds it, per batch, the internal demand (packets
+    the scheduler wants to place) and the APs' measured busy fraction
+    of the previous contention period (external occupancy).  The
+    planner sizes the next CoP so that external traffic's airtime
+    share approaches its fair share of the observed load mix.
+    """
+
+    config: CoexistenceConfig = field(default_factory=CoexistenceConfig)
+
+    def __post_init__(self) -> None:
+        self.cop_us = self.config.initial_cop_us
+        self.external_occupancy = 0.0   # smoothed busy fraction of CoP
+        self.history: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Measurements in
+    # ------------------------------------------------------------------
+    def observe_cop_busy_fraction(self, fraction: float) -> None:
+        """Fold one AP's CoP busy-fraction measurement into the estimate."""
+        fraction = min(max(fraction, 0.0), 1.0)
+        alpha = self.config.smoothing
+        self.external_occupancy = (
+            (1.0 - alpha) * self.external_occupancy + alpha * fraction
+        )
+        self.history.append(fraction)
+
+    # ------------------------------------------------------------------
+    # Plans out
+    # ------------------------------------------------------------------
+    def cfp_enabled(self, internal_demand: int) -> bool:
+        """Sec. 5: 'Under light traffic, we set CFP duration to 0 to
+        turn off scheduling.'"""
+        if not self.config.enabled:
+            return False
+        return internal_demand > self.config.light_traffic_demand
+
+    def next_cop_us(self, cfp_us: float) -> float:
+        """Size the next contention period.
+
+        A fully busy CoP means external demand is starved: grow the
+        CoP toward parity with the CFP.  An idle CoP means the gap is
+        wasted: shrink toward the floor.  The proportional target is
+        ``occupancy * cfp`` clamped to the configured bounds — i.e.
+        external traffic earns airtime in proportion to how much it
+        demonstrably uses.
+        """
+        target = self.external_occupancy * cfp_us
+        self.cop_us = min(max(target, self.config.min_cop_us),
+                          self.config.max_cop_us)
+        return self.cop_us
+
+
+@dataclass
+class CopOccupancyMeter:
+    """Per-AP busy-time accounting over a contention period.
+
+    The AP's radio reports busy/idle edges; between ``open()`` and
+    ``close()`` the meter integrates busy time and yields the busy
+    fraction that gets reported to the controller.
+    """
+
+    _window_start: Optional[float] = None
+    _window_end: Optional[float] = None
+    _busy_since: Optional[float] = None
+    _busy_accum: float = 0.0
+
+    def open(self, now: float, busy_now: bool) -> None:
+        self._window_start = now
+        self._window_end = None
+        self._busy_accum = 0.0
+        self._busy_since = now if busy_now else None
+
+    def on_busy(self, now: float) -> None:
+        if self._window_start is None or self._busy_since is not None:
+            return
+        self._busy_since = now
+
+    def on_idle(self, now: float) -> None:
+        if self._window_start is None or self._busy_since is None:
+            return
+        self._busy_accum += now - self._busy_since
+        self._busy_since = None
+
+    def close(self, now: float) -> float:
+        """End the window; returns the busy fraction (0 when empty)."""
+        if self._window_start is None:
+            return 0.0
+        if self._busy_since is not None:
+            self._busy_accum += now - self._busy_since
+            self._busy_since = None
+        duration = now - self._window_start
+        self._window_start = None
+        if duration <= 0.0:
+            return 0.0
+        return min(self._busy_accum / duration, 1.0)
+
+    @property
+    def measuring(self) -> bool:
+        return self._window_start is not None

@@ -1,0 +1,359 @@
+"""Schedule converter (Sec. 3.3): strict schedule -> relative schedule.
+
+The converter is "a series of procedures that convert a strict
+schedule made by an arbitrary scheduler to a relative schedule":
+
+1. **Fake link insertion** — every slot is extended to a *maximal*
+   independent set of the link conflict graph; added links are marked
+   fake.  This keeps every node triggered frequently so the whole
+   network stays slot-synchronized.
+2. **Trigger assignment** — for each link ``l`` in slot ``i+1``, pick
+   the slot-``i`` node with the highest RSS at ``l.sender`` as its
+   trigger, then a secondary trigger in a second pass.  Constraints:
+   a link's *inbound* (how many nodes carry its trigger) is capped at
+   2 — more would not add robustness but would burn outbound budget —
+   and a node's *outbound* (signatures combined in its burst) is
+   capped at 4, the Fig. 9 detection limit.
+3. **Batch connection** — the last slot of the previous batch is
+   retained as the connector: triggers for this batch's first slot are
+   assigned from it, so execution flows seamlessly across batches.
+   The very first batch has no connector; its APs self-start.
+4. **ROP slot insertion** — greedy: for each AP that needs to poll,
+   find the earliest slot that can trigger it and interpose an ROP
+   slot after it (at most one between any two slots); APs whose links
+   do not conflict may share one ROP slot.
+
+Links in slot ``i+1`` that end up with no trigger are dropped from the
+batch and reported back for rescheduling (rare once fakes are in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..sched.interference_map import InterferenceMap
+from ..sched.strict_schedule import StrictSchedule
+from ..topology.links import Link
+from .relative_schedule import (RelativeBatch, RelativeSlot, SlotEntry,
+                                TriggerDuty)
+
+
+@dataclass
+class ConverterConfig:
+    max_inbound: int = 2     # triggers carried per next-slot link
+    max_outbound: int = 4    # signatures combined per node burst
+    insert_fakes: bool = True
+    insert_rop: bool = True
+    #: Nodes whose links must not be used as fake filler — an
+    #: energy-constrained client (Sec. 5) sleeps through uninvolved
+    #: slots, which fake insertion would otherwise eliminate.
+    fake_exclude_nodes: frozenset = frozenset()
+
+
+@dataclass
+class _DutyBuilder:
+    """Mutable duty under construction (frozen TriggerDuty at the end)."""
+
+    node: int
+    slot: int
+    targets: Set[int] = field(default_factory=set)
+    rop_polls: Set[int] = field(default_factory=set)
+    rop_flag: bool = False
+
+    @property
+    def outbound(self) -> int:
+        return len(self.targets) + len(self.rop_polls)
+
+    def freeze(self) -> TriggerDuty:
+        return TriggerDuty(node=self.node, slot=self.slot,
+                           targets=frozenset(self.targets),
+                           rop_polls=frozenset(self.rop_polls),
+                           rop_flag=self.rop_flag)
+
+
+class ScheduleConverter:
+    """Stateful converter; retains the connector slot across batches.
+
+    Parameters
+    ----------
+    imap:
+        The central interference map (for trigger reachability and
+        RSS-ordered trigger choice).
+    conflict_graph:
+        Conflict graph over the *full* link universe (flows plus all
+        association links available as fakes).
+    fake_candidates:
+        Links eligible for fake insertion, in deterministic priority
+        order.
+    """
+
+    def __init__(self, imap: InterferenceMap, conflict_graph: nx.Graph,
+                 fake_candidates: Sequence[Link],
+                 config: Optional[ConverterConfig] = None):
+        self.imap = imap
+        self.graph = conflict_graph
+        self.fake_candidates = list(fake_candidates)
+        self.config = config if config is not None else ConverterConfig()
+        self._connector: Optional[RelativeSlot] = None
+        self._next_slot_index = 0
+        self._batch_id = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def reset_connector(self) -> None:
+        """Forget the retained connector slot.
+
+        Used when a contention period (Sec. 5 coexistence) separates
+        two batches: triggers cannot cross a CoP full of foreign
+        traffic, so the next batch self-starts like the very first.
+        """
+        self._connector = None
+
+    def convert(self, strict: StrictSchedule,
+                rop_aps: Sequence[int] = (),
+                ap_links: Optional[Dict[int, List[Link]]] = None) -> RelativeBatch:
+        """Convert one strict batch; returns the distributable batch.
+
+        ``rop_aps`` lists APs that must poll during this batch;
+        ``ap_links`` maps each such AP to its association links (for
+        the ROP-slot sharing test).
+        """
+        batch = RelativeBatch(batch_id=self._batch_id,
+                              initial=self._connector is None)
+        self._batch_id += 1
+
+        slots: List[RelativeSlot] = []
+        if self._connector is not None:
+            slots.append(self._connector)
+        for strict_slot in strict:
+            entries = [SlotEntry(link=link, fake=False) for link in strict_slot]
+            if self.config.insert_fakes:
+                entries = self._insert_fakes(entries)
+            slots.append(RelativeSlot(index=self._next_slot_index,
+                                      entries=entries))
+            self._next_slot_index += 1
+
+        duties: Dict[Tuple[int, int], _DutyBuilder] = {}
+        for prev, nxt in zip(slots, slots[1:]):
+            self._assign_triggers(prev, nxt, duties, batch)
+
+        if self.config.insert_rop and rop_aps:
+            self._insert_rop_slots(slots, rop_aps, ap_links or {}, duties,
+                                   batch)
+
+        # The connector belongs to the previous batch's execution; only
+        # its *duties* ship with this batch.
+        own_slots = slots[1:] if self._connector is not None else slots
+        batch.slots = own_slots
+        batch.duties = {key: builder.freeze()
+                        for key, builder in duties.items()}
+        if own_slots:
+            self._connector = own_slots[-1]
+        batch.validate()
+        return batch
+
+    # ------------------------------------------------------------------
+    # 1. Fake link insertion
+    # ------------------------------------------------------------------
+    def _insert_fakes(self, entries: List[SlotEntry]) -> List[SlotEntry]:
+        """Extend a slot to a maximal independent set with fake links.
+
+        Beyond pairwise graph independence, the whole slot must pass
+        the additive-interference test: several individually tolerable
+        interferers can still sum up to break a marginal link.
+        """
+        chosen = [e.link for e in entries]
+        out = list(entries)
+        excluded = self.config.fake_exclude_nodes
+        for cand in self.fake_candidates:
+            if cand in chosen:
+                continue
+            if excluded and (cand.src in excluded or cand.dst in excluded):
+                continue
+            if any(cand.shares_node(link) for link in chosen):
+                continue
+            if any(self.graph.has_edge(cand, link) for link in chosen):
+                continue
+            if not self.imap.set_survives(chosen + [cand]):
+                continue
+            out.append(SlotEntry(link=cand, fake=True))
+            chosen.append(cand)
+        return out
+
+    # ------------------------------------------------------------------
+    # 2. Trigger assignment
+    # ------------------------------------------------------------------
+    def _assign_triggers(self, prev: RelativeSlot, nxt: RelativeSlot,
+                         duties: Dict[Tuple[int, int], _DutyBuilder],
+                         batch: RelativeBatch) -> None:
+        """Wire triggers from ``prev``'s participants to ``nxt``'s senders."""
+        candidates = sorted(prev.participants())
+        inbound: Dict[Link, List[int]] = {e.link: [] for e in nxt.entries}
+
+        def try_assign(entry: SlotEntry, foreign_only: bool = False) -> bool:
+            """Pick one more trigger node for ``entry``.
+
+            ``foreign_only`` restricts the choice to nodes outside the
+            link's own endpoints: a backup trigger drawn from a
+            *different* chain is what couples chains together so that
+            "last trigger wins" can pull them into global alignment
+            (Sec. 3.4's healing needs cross-chain listening).
+            """
+            link = entry.link
+            target = link.src
+            best: Optional[int] = None
+            best_rss = float("-inf")
+            for node in candidates:
+                if node in inbound[link]:
+                    continue
+                if foreign_only and node in (link.src, link.dst):
+                    continue
+                duty = duties.get((node, prev.index))
+                if duty is not None and duty.outbound >= self.config.max_outbound:
+                    continue
+                if node == target:
+                    # Self-trigger: the target was active in the previous
+                    # slot and needs no over-the-air wake-up.  Prefer it
+                    # unconditionally; costs no outbound budget.
+                    best = node
+                    best_rss = float("inf")
+                    break
+                if not self.imap.node_can_trigger(node, target):
+                    continue
+                rss = self.imap.rss_dbm(node, target)
+                if rss > best_rss:
+                    best = node
+                    best_rss = rss
+            if best is None:
+                return False
+            inbound[link].append(best)
+            if best != target:
+                duty = duties.setdefault(
+                    (best, prev.index), _DutyBuilder(node=best, slot=prev.index)
+                )
+                duty.targets.add(target)
+            return True
+
+        # First pass: one trigger per next-slot link; second pass: a
+        # backup trigger where budget allows, preferably from a foreign
+        # chain (falling back to any node when no foreign one reaches).
+        survivors: List[SlotEntry] = []
+        for entry in nxt.entries:
+            if try_assign(entry):
+                survivors.append(entry)
+            elif entry.fake:
+                continue  # silently drop untriggerable fakes
+            else:
+                batch.untriggerable.append((nxt.index, entry.link))
+        for entry in survivors:
+            if len(inbound[entry.link]) < self.config.max_inbound:
+                if not try_assign(entry, foreign_only=True):
+                    try_assign(entry)
+
+        nxt.entries = [e for e in nxt.entries
+                       if e in survivors]
+        for entry in survivors:
+            batch.inbound[(nxt.index, entry.link)] = inbound[entry.link]
+
+    # ------------------------------------------------------------------
+    # 4. ROP slot insertion
+    # ------------------------------------------------------------------
+    def _insert_rop_slots(self, slots: List[RelativeSlot],
+                          rop_aps: Sequence[int],
+                          ap_links: Dict[int, List[Link]],
+                          duties: Dict[Tuple[int, int], _DutyBuilder],
+                          batch: RelativeBatch) -> None:
+        """Greedy insertion per Sec. 3.3."""
+        polls_after: Dict[int, List[int]] = {}  # slot list position -> AP ids
+
+        def links_conflict(ap_a: int, ap_b: int) -> bool:
+            for la in ap_links.get(ap_a, []):
+                for lb in ap_links.get(ap_b, []):
+                    if self.graph.has_edge(la, lb) or la.shares_node(lb):
+                        return True
+            return False
+
+        def can_share(ap_a: int, ap_b: int) -> bool:
+            """Sec. 3.3 requires the APs' links not to conflict; we
+            additionally keep mutually audible APs in separate polling
+            slots so each can hear the other's poll — the reference
+            broadcast that re-anchors chains (simultaneous polls would
+            leave audible AP clusters permanently deaf to each other's
+            timing)."""
+            if links_conflict(ap_a, ap_b):
+                return False
+            return not self.imap.in_cs_range(ap_a, ap_b)
+
+        for ap in rop_aps:
+            placed = False
+            for pos in range(len(slots) - 1):
+                slot = slots[pos]
+                trigger_node = self._rop_trigger_node(slot, ap, duties)
+                if pos in polls_after:
+                    # An ROP slot already sits here: share if compatible.
+                    if all(can_share(ap, other)
+                           for other in polls_after[pos]):
+                        if trigger_node is None:
+                            continue
+                        self._add_rop_duty(trigger_node, slot, ap, duties)
+                        polls_after[pos].append(ap)
+                        slot.rop_after.append(ap)
+                        batch.rop_polls.setdefault(slot.index, []).append(ap)
+                        placed = True
+                        break
+                    continue
+                if trigger_node is None:
+                    continue
+                self._add_rop_duty(trigger_node, slot, ap, duties)
+                polls_after[pos] = [ap]
+                slot.rop_after.append(ap)
+                batch.rop_polls.setdefault(slot.index, []).append(ap)
+                self._flag_rop(slot, duties)
+                placed = True
+                break
+            if not placed:
+                # No slot can trigger this AP this batch; it polls in a
+                # later batch (its stale queue picture self-corrects).
+                continue
+
+    def _rop_trigger_node(self, slot: RelativeSlot, ap: int,
+                          duties: Dict[Tuple[int, int], _DutyBuilder]
+                          ) -> Optional[int]:
+        """Best slot participant that can wake ``ap`` for polling."""
+        best: Optional[int] = None
+        best_rss = float("-inf")
+        for node in sorted(slot.participants()):
+            if node == ap:
+                return ap  # the AP is active in the slot: self-timed poll
+            duty = duties.get((node, slot.index))
+            if duty is not None and duty.outbound >= self.config.max_outbound:
+                continue
+            if not self.imap.node_can_trigger(node, ap):
+                continue
+            rss = self.imap.rss_dbm(node, ap)
+            if rss > best_rss:
+                best = node
+                best_rss = rss
+        return best
+
+    def _add_rop_duty(self, trigger_node: int, slot: RelativeSlot, ap: int,
+                      duties: Dict[Tuple[int, int], _DutyBuilder]) -> None:
+        if trigger_node == ap:
+            return  # self-timed; no over-the-air signature needed
+        duty = duties.setdefault(
+            (trigger_node, slot.index),
+            _DutyBuilder(node=trigger_node, slot=slot.index),
+        )
+        duty.rop_polls.add(ap)
+
+    def _flag_rop(self, slot: RelativeSlot,
+                  duties: Dict[Tuple[int, int], _DutyBuilder]) -> None:
+        """Mark every duty of ``slot`` with the ROP flag: next-slot
+        senders must wait one polling slot before transmitting."""
+        for (node, slot_idx), duty in duties.items():
+            if slot_idx == slot.index:
+                duty.rop_flag = True

@@ -1,0 +1,102 @@
+"""Energy saving (Sec. 5): scheduled sleep for constrained clients.
+
+"It is straightforward to implement [an] energy saving mechanism in
+DOMINO: the server can schedule an energy constraint device to sleep
+for a duration within which it does not need to send or receive
+packets."  Because the controller knows the whole relative schedule,
+it knows exactly which slots involve each client:
+
+* slots where the client sends (its own entries);
+* slots where it receives (downlink entries to it);
+* slots whose end it must hear (trigger duties it holds);
+* polling slots of its AP (every client answers ROP).
+
+Everything else is sleepable.  :func:`involvement_slots` computes the
+per-client involvement set from a batch; :func:`sleep_windows` turns
+the gaps into windows; the DOMINO MAC puts the radio to sleep inside
+them, waking one slot early as guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .relative_schedule import NodeProgram, RelativeBatch
+
+
+def involvement_slots(batch: RelativeBatch, client: int,
+                      ap_id: int) -> Set[int]:
+    """Slot indices during (or right after) which ``client`` must be awake."""
+    involved: Set[int] = set()
+    for slot in batch.slots:
+        for entry in slot.entries:
+            if client in (entry.link.src, entry.link.dst):
+                involved.add(slot.index)
+    for (node, slot_idx), duty in batch.duties.items():
+        if node == client and not duty.empty:
+            involved.add(slot_idx)
+            # The duty fires at the end of the slot; the burst and the
+            # turnaround spill toward the next slot boundary.
+            involved.add(slot_idx + 1)
+        if client in duty.targets:
+            involved.add(slot_idx)      # must hear the burst
+            involved.add(slot_idx + 1)  # and transmit right after
+    for slot_idx, aps in batch.rop_polls.items():
+        if ap_id in aps:
+            involved.add(slot_idx)      # poll + report ride this gap
+            involved.add(slot_idx + 1)
+    return involved
+
+
+def sleep_windows(batch: RelativeBatch, client: int, ap_id: int,
+                  min_gap_slots: int = 2) -> List[Tuple[int, int]]:
+    """Sleepable slot ranges ``(first, last)`` inclusive, within the batch."""
+    if not batch.slots:
+        return []
+    involved = involvement_slots(batch, client, ap_id)
+    first = batch.slots[0].index
+    last = batch.slots[-1].index
+    windows: List[Tuple[int, int]] = []
+    start = None
+    for slot in range(first, last + 1):
+        if slot in involved:
+            if start is not None and slot - start >= min_gap_slots:
+                windows.append((start, slot - 1))
+            start = None
+        elif start is None:
+            start = slot
+    if start is not None and last - start + 1 >= min_gap_slots:
+        windows.append((start, last))
+    return windows
+
+
+@dataclass
+class EnergyAccountant:
+    """Awake/asleep bookkeeping for a set of constrained clients."""
+
+    horizon_us: float = 0.0
+    sleep_us: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, client: int, slept_us: float) -> None:
+        self.sleep_us[client] = self.sleep_us.get(client, 0.0) + slept_us
+
+    def sleep_fraction(self, client: int) -> float:
+        if self.horizon_us <= 0.0:
+            return 0.0
+        return min(self.sleep_us.get(client, 0.0) / self.horizon_us, 1.0)
+
+
+def annotate_programs(batch: RelativeBatch,
+                      programs: Dict[int, NodeProgram],
+                      constrained: Iterable[int],
+                      ap_of: Dict[int, int],
+                      min_gap_slots: int = 2) -> None:
+    """Attach sleep windows to constrained clients' programs."""
+    for client in constrained:
+        program = programs.get(client)
+        if program is None:
+            continue
+        program.sleep_windows = sleep_windows(
+            batch, client, ap_of.get(client, -1), min_gap_slots
+        )

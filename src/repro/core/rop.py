@@ -1,0 +1,171 @@
+"""ROP — Rapid OFDM Polling (Sec. 3.1), protocol layer.
+
+One polling action retrieves the queue backlog of up to 24 clients:
+the AP broadcasts a polling packet (whose preamble the clients use to
+tune frequency offset and as a reference broadcast for timing); one
+WiFi slot later every polled client transmits its 6-bit queue length
+on its assigned subchannel of the control OFDM symbol; the AP decodes
+all subchannels from the one aggregate symbol.
+
+This module provides:
+
+* :class:`SubchannelPlan` — subchannel assignment for an AP's
+  clients.  Clients are ordered by RSS so that adjacent subchannels
+  carry similar powers; a pair whose mismatch still exceeds the guard
+  tolerance is pushed to non-adjacent subchannels, as Sec. 3.1
+  prescribes for the extreme (>38 dB) case.  More than 24 clients are
+  split into multiple poll sets (Sec. 3.5).
+* :class:`RopDecoder` — the event-level decode model: per-client
+  success from SNR and neighbour RSS mismatch, using the tolerance
+  table measured by the sample-level experiment in :mod:`ofdm`.
+* ROP slot timing used by the schedule converter and the DOMINO MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.packet import POLL_BYTES
+from ..sim.phy import PhyProfile
+from .ofdm import MAX_QUEUE_REPORT, OfdmParams, DEFAULT_PARAMS
+
+#: Tolerable RSS difference (dB) between adjacent subchannels as a
+#: function of the guard-subcarrier count — the Fig. 6 result measured
+#: by ofdm.rss_difference_tolerance_experiment (threshold at the
+#: ~99 %-correct point).
+GUARD_TOLERANCE_DB: Dict[int, float] = {0: 17.0, 1: 21.0, 2: 29.0,
+                                        3: 35.0, 4: 37.0}
+#: Minimum wideband SNR for a queue report to decode (Sec. 3.1: 4 dB).
+MIN_REPORT_SNR_DB = 4.0
+
+
+def guard_tolerance_db(guard_subcarriers: int) -> float:
+    if guard_subcarriers in GUARD_TOLERANCE_DB:
+        return GUARD_TOLERANCE_DB[guard_subcarriers]
+    return GUARD_TOLERANCE_DB[max(GUARD_TOLERANCE_DB)]
+
+
+@dataclass
+class SubchannelPlan:
+    """Assignment of one AP's clients to ROP subchannels.
+
+    ``poll_sets`` is a list of dicts {client_id: subchannel}; each dict
+    is one polling action (24 clients max per action).
+    """
+
+    poll_sets: List[Dict[int, int]] = field(default_factory=list)
+
+    def subchannel_of(self, client: int) -> Optional[Tuple[int, int]]:
+        """(poll_set_index, subchannel) for a client, or None."""
+        for set_idx, assignment in enumerate(self.poll_sets):
+            if client in assignment:
+                return set_idx, assignment[client]
+        return None
+
+    @property
+    def n_polls(self) -> int:
+        return len(self.poll_sets)
+
+
+def plan_subchannels(clients: Sequence[int],
+                     rss_at_ap_dbm: Callable[[int], float],
+                     params: OfdmParams = DEFAULT_PARAMS) -> SubchannelPlan:
+    """Assign subchannels to an AP's clients.
+
+    Clients are sorted by RSS (descending) and packed consecutively:
+    sorting minimizes the worst adjacent-pair mismatch.  If an
+    adjacent pair still exceeds the guard tolerance, a gap subchannel
+    is skipped between them ("the AP should assign them non-adjacent
+    subchannels", Sec. 3.1).  Overflow spills into additional poll
+    sets of at most ``n_subchannels`` clients each.
+    """
+    tolerance = guard_tolerance_db(params.guard_subcarriers)
+    ordered = sorted(clients, key=rss_at_ap_dbm, reverse=True)
+    poll_sets: List[Dict[int, int]] = []
+    current: Dict[int, int] = {}
+    next_subchannel = 0
+    prev_rss: Optional[float] = None
+    for client in ordered:
+        rss = rss_at_ap_dbm(client)
+        if prev_rss is not None and prev_rss - rss > tolerance:
+            next_subchannel += 1  # leave a spacer subchannel
+        if next_subchannel >= params.n_subchannels:
+            poll_sets.append(current)
+            current = {}
+            next_subchannel = 0
+        current[client] = next_subchannel
+        next_subchannel += 1
+        prev_rss = rss
+    if current:
+        poll_sets.append(current)
+    return SubchannelPlan(poll_sets=poll_sets)
+
+
+@dataclass
+class ReportObservation:
+    """What the AP's radio hands up for one client's queue report."""
+
+    client: int
+    subchannel: int
+    rss_dbm: float
+    queue_len: int  # ground-truth value encoded by the client
+
+
+class RopDecoder:
+    """Event-level decode: which of the simultaneous reports survive.
+
+    A client's report decodes iff (a) its wideband SNR clears
+    ``MIN_REPORT_SNR_DB`` and (b) no *louder* neighbour within skirt
+    reach exceeds the guard tolerance for the mismatch.  This is the
+    distilled form of the sample-level model in :mod:`ofdm`, suitable
+    for the discrete-event simulation (the paper similarly carries
+    USRP-measured constants into ns-3).
+    """
+
+    def __init__(self, params: OfdmParams = DEFAULT_PARAMS,
+                 noise_dbm: float = -94.0):
+        self.params = params
+        self.noise_dbm = noise_dbm
+        self.tolerance_db = guard_tolerance_db(params.guard_subcarriers)
+
+    def decode(self, observations: Sequence[ReportObservation]
+               ) -> Dict[int, Optional[int]]:
+        """Map client -> decoded queue length (None = decode failure)."""
+        results: Dict[int, Optional[int]] = {}
+        by_subchannel = {obs.subchannel: obs for obs in observations}
+        for obs in observations:
+            if obs.rss_dbm - self.noise_dbm < MIN_REPORT_SNR_DB:
+                results[obs.client] = None
+                continue
+            blocked = False
+            for delta in (-1, 1):
+                neighbour = by_subchannel.get(obs.subchannel + delta)
+                if neighbour is None:
+                    continue
+                if neighbour.rss_dbm - obs.rss_dbm > self.tolerance_db:
+                    blocked = True
+                    break
+            results[obs.client] = None if blocked else min(
+                obs.queue_len, MAX_QUEUE_REPORT
+            )
+        return results
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def poll_airtime_us(profile: PhyProfile) -> float:
+    """Airtime of the AP's polling broadcast."""
+    return profile.bytes_airtime_us(POLL_BYTES, profile.basic_rate_mbps)
+
+
+def rop_slot_duration_us(profile: PhyProfile,
+                         params: OfdmParams = DEFAULT_PARAMS) -> float:
+    """Duration of one ROP slot (Fig. 4 sequence).
+
+    poll broadcast + one WiFi slot + the 16 us control symbol + one
+    slot of turnaround before the next data slot begins.
+    """
+    return (poll_airtime_us(profile) + profile.slot_us
+            + params.symbol_us + profile.slot_us)

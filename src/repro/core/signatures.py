@@ -1,0 +1,273 @@
+"""Gold-code node signatures (Sec. 3.2).
+
+DOMINO triggers transmissions by detecting per-node signatures, chosen
+as Gold codes "because of their outstanding cross correlation
+property".  The paper uses a family of 129 codes of length 127; two
+are reserved (the START signature S' and the ROP signature), leaving
+127 assignable node signatures per collision domain.
+
+Gold codes of length ``2^n - 1`` are built from a *preferred pair* of
+maximal-length LFSR sequences (m-sequences) ``u`` and ``v``: the
+family is ``{u, v} ∪ {u XOR shift(v, k) : k = 0..2^n-2}``.  For a
+preferred pair the periodic cross-correlation between any two family
+members takes only three values ``{-1, -t(n), t(n) - 2}`` with
+``t(n) = 2^((n+1)/2) + 1`` — for n = 7 that bound is 17, versus the
+self-correlation peak of 127, which is the ~18 dB discrimination the
+trigger detector relies on.
+
+Sec. 5 ("Number of signatures") also discusses lengths 255 and 511 to
+support more nodes; those families are generated here too and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+# Preferred pairs of primitive polynomials, given as tap positions of
+# the Fibonacci LFSR x^n + x^t1 + ... + 1 (taps exclude the constant).
+# These are classical preferred pairs from the spread-spectrum
+# literature; preferredness is verified by the three-valued
+# cross-correlation test in the unit tests.
+_PREFERRED_TAPS: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {
+    # degree: (taps of u, taps of v)
+    5: ((5, 2), (5, 4, 3, 2)),
+    6: ((6, 1), (6, 5, 2, 1)),
+    7: ((7, 3), (7, 3, 2, 1)),
+    9: ((9, 4), (9, 6, 4, 3)),
+}
+
+START_SIGNATURE_INDEX = 0   # S' in Fig. 8
+ROP_SIGNATURE_INDEX = 1     # the "ROP signature" of Sec. 3.3
+
+
+def lfsr_m_sequence(degree: int, taps: Sequence[int],
+                    seed: int = 1) -> np.ndarray:
+    """Binary m-sequence of length ``2^degree - 1`` from a Fibonacci LFSR.
+
+    ``taps`` are the exponents of the feedback polynomial (excluding
+    the constant term); ``seed`` is the non-zero initial register
+    state.  Returns a 0/1 ``np.ndarray``.
+    """
+    if seed <= 0 or seed >= (1 << degree):
+        raise ValueError(f"seed must be a non-zero {degree}-bit state")
+    length = (1 << degree) - 1
+    state = [(seed >> i) & 1 for i in range(degree)]
+    out = np.empty(length, dtype=np.int8)
+    tap_idx = [t - 1 for t in taps]
+    for i in range(length):
+        bit = state[-1]
+        out[i] = bit
+        feedback = 0
+        for t in tap_idx:
+            feedback ^= state[t]
+        state = [feedback] + state[:-1]
+    if len(set(map(tuple, _state_orbit(degree, taps, seed)))) != length:
+        raise ValueError(
+            f"taps {taps} are not primitive for degree {degree}"
+        )
+    return out
+
+
+def _state_orbit(degree: int, taps: Sequence[int], seed: int):
+    """All register states visited; full period iff taps are primitive."""
+    state = [(seed >> i) & 1 for i in range(degree)]
+    tap_idx = [t - 1 for t in taps]
+    for _ in range((1 << degree) - 1):
+        yield tuple(state)
+        feedback = 0
+        for t in tap_idx:
+            feedback ^= state[t]
+        state = [feedback] + state[:-1]
+
+
+def _to_bipolar(bits: np.ndarray) -> np.ndarray:
+    """Map 0/1 chips to +1/-1 floats (BPSK)."""
+    return 1.0 - 2.0 * bits.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class GoldFamily:
+    """A complete Gold-code family of length ``2^degree - 1``.
+
+    ``codes[i]`` is a bipolar (+1/-1) chip sequence.  ``codes[0]`` and
+    ``codes[1]`` are the reserved START and ROP signatures; node
+    signatures are handed out from index 2 upward.
+    """
+
+    degree: int
+    codes: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def length(self) -> int:
+        return (1 << self.degree) - 1
+
+    @property
+    def family_size(self) -> int:
+        return len(self.codes)
+
+    @property
+    def assignable(self) -> int:
+        """Node signatures available after the two reserved codes."""
+        return self.family_size - 2
+
+    def code(self, index: int) -> np.ndarray:
+        return np.asarray(self.codes[index], dtype=np.float64)
+
+    @property
+    def start_code(self) -> np.ndarray:
+        return self.code(START_SIGNATURE_INDEX)
+
+    @property
+    def rop_code(self) -> np.ndarray:
+        return self.code(ROP_SIGNATURE_INDEX)
+
+    def node_code(self, node_slot: int) -> np.ndarray:
+        """Signature for the ``node_slot``-th node (0-based)."""
+        if node_slot < 0 or node_slot >= self.assignable:
+            raise IndexError(
+                f"node slot {node_slot} out of range (max {self.assignable - 1})"
+            )
+        return self.code(2 + node_slot)
+
+    def correlation_bound(self) -> int:
+        """Three-valued cross-correlation bound t(n) for odd n."""
+        return (1 << ((self.degree + 1) // 2)) + 1
+
+
+@lru_cache(maxsize=None)
+def gold_family(degree: int = 7) -> GoldFamily:
+    """Build the Gold family for ``degree`` (127 chips for degree 7).
+
+    The family has ``2^degree + 1`` members: the two m-sequences plus
+    all ``2^degree - 1`` shift-XOR combinations.
+    """
+    if degree not in _PREFERRED_TAPS:
+        raise ValueError(
+            f"no preferred pair configured for degree {degree}; "
+            f"available: {sorted(_PREFERRED_TAPS)}"
+        )
+    taps_u, taps_v = _PREFERRED_TAPS[degree]
+    u = lfsr_m_sequence(degree, taps_u)
+    v = lfsr_m_sequence(degree, taps_v)
+    length = (1 << degree) - 1
+    members: List[np.ndarray] = [u.copy(), v.copy()]
+    for shift in range(length):
+        members.append(np.bitwise_xor(u, np.roll(v, -shift)))
+    codes = tuple(tuple(_to_bipolar(m)) for m in members)
+    return GoldFamily(degree=degree, codes=codes)
+
+
+def periodic_cross_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All periodic cross-correlation values of bipolar sequences a, b."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("sequences must have equal length")
+    # Circular correlation via FFT.
+    fa = np.fft.fft(a)
+    fb = np.fft.fft(b)
+    corr = np.fft.ifft(fa * np.conj(fb)).real
+    return np.round(corr).astype(np.int64)
+
+
+def max_cross_correlation(a: np.ndarray, b: np.ndarray) -> int:
+    """Peak |cross-correlation| over all shifts."""
+    return int(np.max(np.abs(periodic_cross_correlation(a, b))))
+
+
+@dataclass(frozen=True)
+class SignatureLengthTradeoff:
+    """One row of the Sec. 5 signature-length discussion.
+
+    Longer Gold codes support more nodes per collision domain and
+    discriminate better (peak-to-cross-correlation grows), but burn
+    more airtime per trigger burst.
+    """
+
+    degree: int
+    length: int
+    family_size: int
+    assignable_nodes: int
+    signature_us: float
+    burst_us: float               # combined signatures + START
+    slot_overhead_fraction: float
+    correlation_bound: int
+    discrimination_db: float
+
+    @property
+    def supports_paper_claim(self) -> bool:
+        """127/255/511 nodes for lengths 127/255/511 (Sec. 5)."""
+        return self.assignable_nodes == self.length
+
+
+def signature_length_tradeoffs(degrees=(5, 6, 7, 9),
+                               chip_rate_mhz: float = 20.0,
+                               slot_payload_airtime_us: float = 448.7):
+    """Quantify the Sec. 5 length trade-off for each available family.
+
+    ``slot_payload_airtime_us`` is everything in a slot that is not
+    trigger overhead (data + SIFS + ACK + turnaround at the paper's
+    evaluation settings); the overhead fraction is the share of the
+    resulting slot the two-signature burst consumes.
+    """
+    import math as _math
+
+    rows = []
+    for degree in degrees:
+        family = gold_family(degree)
+        signature_us = family.length / chip_rate_mhz
+        burst_us = 2.0 * signature_us
+        overhead = burst_us / (slot_payload_airtime_us + burst_us)
+        discrimination = 20.0 * _math.log10(
+            family.length / family.correlation_bound()
+        )
+        rows.append(SignatureLengthTradeoff(
+            degree=degree,
+            length=family.length,
+            family_size=family.family_size,
+            assignable_nodes=family.assignable,
+            signature_us=signature_us,
+            burst_us=burst_us,
+            slot_overhead_fraction=overhead,
+            correlation_bound=family.correlation_bound(),
+            discrimination_db=discrimination,
+        ))
+    return rows
+
+
+@dataclass
+class SignatureAssigner:
+    """Maps node ids to signature indices within one collision domain.
+
+    The central controller "assigns a unique signature when a node
+    joins the network" (Sec. 3.2); signatures may be reused across
+    collision domains, which the assigner supports via independent
+    instances.
+    """
+
+    family: GoldFamily
+
+    def __post_init__(self) -> None:
+        self._by_node: Dict[int, int] = {}
+
+    def assign(self, node_id: int) -> int:
+        """Idempotently assign a signature slot to ``node_id``."""
+        if node_id in self._by_node:
+            return self._by_node[node_id]
+        slot = len(self._by_node)
+        if slot >= self.family.assignable:
+            raise RuntimeError(
+                f"collision domain full: {self.family.assignable} signatures"
+            )
+        self._by_node[node_id] = slot
+        return slot
+
+    def signature_of(self, node_id: int) -> np.ndarray:
+        return self.family.node_code(self.assign(node_id))
+
+    @property
+    def assigned(self) -> Dict[int, int]:
+        return dict(self._by_node)

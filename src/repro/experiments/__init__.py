@@ -1,0 +1,33 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+Every module exposes ``run(...) -> <ResultDataclass>`` and
+``report(result) -> str`` printing the same rows/series the paper
+reports, plus a ``main()`` CLI entry
+(``python -m repro.experiments.<module>``).
+
+=====================  =====================================================
+module                 reproduces
+=====================  =====================================================
+fig02_motivation       Fig. 2 per-link throughput, 3-pair motivating net
+fig05_fig06_rop        Fig. 5 subchannel decoding, Fig. 6 guard sweep
+fig09_signatures       Fig. 9 signature detection vs combining
+tab02_usrp             Table 2 USRP prototype SC/HT/ET
+fig10_microscope       Fig. 10 timeline under the microscope
+fig11_misalignment     Fig. 11 misalignment convergence
+fig12_t10_2            Fig. 12 UDP/TCP throughput, delay, fairness sweeps
+tab03_exposed          Table 3 exposed-link topologies (Fig. 13a/b)
+fig14_random           Fig. 14 gain CDF over random T(20,3) networks
+sec5_polling           Sec. 5 batch-size sweep and light-traffic delay
+=====================  =====================================================
+"""
+
+from . import (common, fig02_motivation, fig05_fig06_rop, fig09_signatures,
+               fig10_microscope, fig11_misalignment, fig12_t10_2,
+               fig14_random, sec5_extensions, sec5_polling, tab02_usrp,
+               tab03_exposed)
+
+__all__ = [
+    "common", "fig02_motivation", "fig05_fig06_rop", "fig09_signatures",
+    "fig10_microscope", "fig11_misalignment", "fig12_t10_2", "fig14_random",
+    "sec5_extensions", "sec5_polling", "tab02_usrp", "tab03_exposed",
+]

@@ -1,0 +1,172 @@
+"""Shared machinery for the paper-reproduction experiment runners.
+
+Each experiment module (one per table/figure) builds on
+:func:`run_scheme`: pick a scheme ("dcf" / "centaur" / "domino" /
+"omniscient"), a topology, a traffic pattern, and get back the flow
+recorder, per-node MACs and any scheme-specific controller for
+inspection.
+
+Durations: the paper simulates 50 s per point; pure-Python event
+simulation makes that expensive, so runners default to ~1 simulated
+second with a warm-up cut, which is enough for saturated-regime
+throughput to stabilize (seeds are fixed; benches assert *shape*, not
+third decimal places).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import (ControllerConfig, DominoNetwork, TriggerDetectionModel,
+                    build_domino_network)
+from ..mac.centaur import build_centaur_network
+from ..mac.dcf import DcfMac
+from ..mac.omniscient import build_omniscient_network
+from ..metrics.stats import FlowRecorder
+from ..sim.engine import Simulator
+from ..topology.builder import Topology
+from ..topology.links import Link
+from ..traffic.tcp import TcpFlow
+from ..traffic.udp import CbrSource, SaturatedSource
+
+SCHEMES = ("dcf", "centaur", "domino", "omniscient")
+
+DEFAULT_HORIZON_US = 1_000_000.0
+DEFAULT_WARMUP_US = 100_000.0
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    scheme: str
+    topology: Topology
+    horizon_us: float
+    recorder: FlowRecorder
+    macs: Dict[int, object]
+    controller: object = None
+    domino: Optional[DominoNetwork] = None
+    tcp_flows: List[TcpFlow] = field(default_factory=list)
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return self.recorder.aggregate_throughput_mbps(self.horizon_us)
+
+    @property
+    def fairness(self) -> float:
+        return self.recorder.fairness(self.horizon_us)
+
+    @property
+    def mean_delay_us(self) -> float:
+        return self.recorder.mean_delay_us()
+
+    def flow_mbps(self, flow: Link) -> float:
+        return self.recorder.flow_throughput_mbps(flow, self.horizon_us)
+
+
+def _rate_for(topology: Topology, flow: Link, downlink_mbps: float,
+              uplink_mbps: float) -> float:
+    if topology.network.nodes[flow.src].is_ap:
+        return downlink_mbps
+    return uplink_mbps
+
+
+def active_flows(topology: Topology, downlink_mbps: float,
+                 uplink_mbps: float) -> List[Link]:
+    """Flows with non-zero offered load (fairness is computed over
+    these; an idle flow's zero throughput is not unfairness)."""
+    return [f for f in topology.flows
+            if _rate_for(topology, f, downlink_mbps, uplink_mbps) > 0]
+
+
+def run_scheme(scheme: str, topology: Topology, *,
+               horizon_us: float = DEFAULT_HORIZON_US,
+               warmup_us: float = DEFAULT_WARMUP_US,
+               downlink_mbps: float = 10.0,
+               uplink_mbps: float = 0.0,
+               saturated: bool = False,
+               tcp: bool = False,
+               payload_bytes: int = 512,
+               seed: int = 1,
+               domino_config: Optional[ControllerConfig] = None,
+               trigger_model: Optional[TriggerDetectionModel] = None,
+               queue_capacity: int = 100) -> RunResult:
+    """Run one scheme on one topology with the Sec. 4.2.1 traffic setup.
+
+    ``saturated=True`` keeps every flow's queue full (Fig. 2 /
+    Table 2/3 style); otherwise CBR at ``downlink_mbps`` /
+    ``uplink_mbps`` per flow, or TCP with those application limits
+    when ``tcp=True``.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"scheme must be one of {SCHEMES}")
+    sim = Simulator(seed=seed)
+    controller = None
+    domino = None
+    if scheme == "dcf":
+        medium = topology.build_medium(sim)
+        macs = {n.node_id: DcfMac(sim, n, medium,
+                                  queue_capacity=queue_capacity)
+                for n in topology.network}
+    elif scheme == "centaur":
+        _, macs, controller = build_centaur_network(
+            sim, topology, queue_capacity=queue_capacity)
+    elif scheme == "omniscient":
+        _, macs, controller = build_omniscient_network(
+            sim, topology, queue_capacity=queue_capacity,
+            payload_bytes=payload_bytes)
+    else:
+        domino = build_domino_network(
+            sim, topology, config=domino_config,
+            trigger_model=trigger_model, payload_bytes=payload_bytes,
+            queue_capacity=queue_capacity)
+        macs = domino.macs
+        controller = domino.controller
+
+    flows = (topology.flows if saturated
+             else active_flows(topology, downlink_mbps, uplink_mbps))
+    recorder = FlowRecorder(flows, warmup_us=warmup_us)
+    recorder.attach_all(macs.values())
+
+    tcp_flows: List[TcpFlow] = []
+    for flow in topology.flows:
+        rate = _rate_for(topology, flow, downlink_mbps, uplink_mbps)
+        if saturated:
+            SaturatedSource(sim, macs[flow.src], flow.dst,
+                            payload_bytes=payload_bytes).start()
+        elif tcp:
+            if rate > 0:
+                tcp_flow = TcpFlow(sim, macs[flow.src], macs[flow.dst],
+                                   payload_bytes=payload_bytes,
+                                   app_rate_mbps=rate)
+                tcp_flow.start()
+                tcp_flows.append(tcp_flow)
+        elif rate > 0:
+            CbrSource(sim, macs[flow.src], flow.dst, rate,
+                      payload_bytes=payload_bytes).start()
+
+    if controller is not None:
+        controller.start()
+    for mac in macs.values():
+        mac.start()
+    sim.run(until=horizon_us)
+    return RunResult(scheme=scheme, topology=topology,
+                     horizon_us=horizon_us, recorder=recorder, macs=macs,
+                     controller=controller, domino=domino,
+                     tcp_flows=tcp_flows)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table for experiment output (paper-style rows)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Figure 12: throughput, delay and fairness on T(10, 2).
+
+The paper's main quantitative result: downlink fixed at 10 Mbps per
+flow, uplink rate swept 0..10 Mbps, UDP (a-c) and TCP (d-f), for
+DOMINO / CENTAUR / DCF.  Headlines:
+
+* UDP throughput: DOMINO up to ~74 % above DCF (Fig. 12a);
+* UDP delay: DCF about 2x DOMINO (Fig. 12b);
+* UDP fairness: DOMINO ~0.78 vs DCF ~0.47 (Fig. 12c);
+* TCP: +10-15 % throughput, comparable delay, +17-39 % fairness.
+
+Fairness is computed over flows with non-zero offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..topology.builder import Topology, build_t_topology
+from ..topology.trace import two_building_trace
+from .common import format_table, run_scheme
+
+SCHEMES = ("domino", "centaur", "dcf")
+DEFAULT_UPLINK_RATES = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass
+class SweepPoint:
+    uplink_mbps: float
+    throughput_mbps: Dict[str, float] = field(default_factory=dict)
+    delay_us: Dict[str, float] = field(default_factory=dict)
+    fairness: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig12Result:
+    transport: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def gain_over_dcf(self, uplink_mbps: float) -> float:
+        for point in self.points:
+            if point.uplink_mbps == uplink_mbps:
+                dcf = point.throughput_mbps["dcf"]
+                return point.throughput_mbps["domino"] / dcf if dcf else 0.0
+        raise KeyError(uplink_mbps)
+
+
+def default_topology(seed: int = 3) -> Topology:
+    return build_t_topology(two_building_trace(), 10, 2, seed=seed)
+
+
+def run(transport: str = "udp",
+        uplink_rates: Tuple[float, ...] = DEFAULT_UPLINK_RATES,
+        horizon_us: float = 1_000_000.0,
+        seed: int = 1,
+        topology_seed: int = 3) -> Fig12Result:
+    if transport not in ("udp", "tcp"):
+        raise ValueError("transport must be 'udp' or 'tcp'")
+    result = Fig12Result(transport=transport)
+    for uplink in uplink_rates:
+        point = SweepPoint(uplink_mbps=uplink)
+        for scheme in SCHEMES:
+            topology = default_topology(topology_seed)
+            run_result = run_scheme(
+                scheme, topology, horizon_us=horizon_us,
+                downlink_mbps=10.0, uplink_mbps=uplink,
+                tcp=(transport == "tcp"), seed=seed,
+            )
+            point.throughput_mbps[scheme] = run_result.aggregate_mbps
+            point.delay_us[scheme] = run_result.mean_delay_us
+            point.fairness[scheme] = run_result.fairness
+        result.points.append(point)
+    return result
+
+
+def report(result: Fig12Result) -> str:
+    lines = [f"T(10,2) {result.transport.upper()} sweep "
+             "(downlink fixed at 10 Mbps/flow):"]
+    headers = (["uplink Mbps"]
+               + [f"{s} thr" for s in SCHEMES]
+               + [f"{s} delay(ms)" for s in SCHEMES]
+               + [f"{s} jain" for s in SCHEMES])
+    rows = []
+    for point in result.points:
+        rows.append(
+            [f"{point.uplink_mbps:.0f}"]
+            + [f"{point.throughput_mbps[s]:.1f}" for s in SCHEMES]
+            + [f"{point.delay_us[s] / 1000.0:.0f}" for s in SCHEMES]
+            + [f"{point.fairness[s]:.2f}" for s in SCHEMES]
+        )
+    lines.append(format_table(headers, rows))
+    first, last = result.points[0], result.points[-1]
+    lines.append(
+        f"DOMINO/DCF gain: {result.gain_over_dcf(first.uplink_mbps):.2f}x at "
+        f"{first.uplink_mbps:.0f} Mbps uplink, "
+        f"{result.gain_over_dcf(last.uplink_mbps):.2f}x at "
+        f"{last.uplink_mbps:.0f} Mbps"
+    )
+    if result.transport == "udp":
+        lines.append("(paper: 1.74x falling to 1.24x; fairness 0.78 vs 0.47)")
+    else:
+        lines.append("(paper: +10-15% throughput, +17-39% fairness)")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run("udp")))
+    print()
+    print(report(run("tcp")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

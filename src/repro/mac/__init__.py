@@ -1,0 +1,18 @@
+"""MAC protocols: the DCF / CENTAUR / omniscient baselines.
+
+DOMINO's MAC lives in :mod:`repro.core.domino_mac` because it is the
+paper's contribution rather than a baseline.
+"""
+
+from .base import Mac
+from .centaur import (CentaurApMac, CentaurController,
+                      build_centaur_network)
+from .dcf import DcfMac, DcfStats
+from .omniscient import (OmniscientCoordinator, OmniscientMac,
+                         build_omniscient_network)
+
+__all__ = [
+    "CentaurApMac", "CentaurController", "DcfMac", "DcfStats", "Mac",
+    "OmniscientCoordinator", "OmniscientMac", "build_centaur_network",
+    "build_omniscient_network",
+]

@@ -1,0 +1,141 @@
+"""MAC interface shared by DCF, CENTAUR, the omniscient genie and DOMINO.
+
+A MAC sits between its node's radio (below) and the traffic sources /
+sinks (above).  The radio invokes the ``on_*`` callbacks; traffic
+sources call :meth:`enqueue`; receivers of successfully delivered DATA
+get it through registered delivery handlers (the metrics layer and
+TCP receivers both subscribe there).
+
+Duplicate suppression lives here: MAC retransmissions can deliver the
+same (flow, seq) twice when an ACK is lost, and both throughput
+accounting and TCP must see each packet once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.medium import Medium
+from ..sim.node import Node
+from ..sim.packet import Frame, FrameKind
+from ..sim.phy import PhyProfile
+from ..traffic.queueing import QueueSet
+
+DeliveryHandler = Callable[[Frame, float], None]
+
+
+class Mac:
+    """Base MAC: queue ownership, delivery fan-out, no channel policy."""
+
+    def __init__(self, sim: Simulator, node: Node, medium: Medium,
+                 queue_capacity: int = 100):
+        self.sim = sim
+        self.node = node
+        self.medium = medium
+        self.profile: PhyProfile = medium.profile
+        self.queues = QueueSet(queue_capacity)
+        self._delivery_handlers: List[Tuple[DeliveryHandler, bool]] = []
+        self._seen: Set[Tuple[Tuple[int, int], int]] = set()
+        node.bind_mac(self)
+
+    # ------------------------------------------------------------------
+    # Upper-layer interface
+    # ------------------------------------------------------------------
+    _mac_seq = 0
+
+    def enqueue(self, frame: Frame) -> bool:
+        """Accept a DATA frame from a traffic source.
+
+        The frame gets a MAC-level sequence number here (802.11's SN
+        field): receivers de-duplicate on it, so MAC retransmissions
+        of one frame collapse to a single delivery while a *transport*
+        retransmission — a fresh enqueue reusing the transport seq —
+        passes through and reaches the upper layer, as on real WiFi.
+        """
+        if frame.kind is not FrameKind.DATA:
+            raise ValueError(f"only DATA frames can be enqueued, got {frame.kind}")
+        frame.enqueued_at = self.sim.now
+        self._mac_seq += 1
+        frame.meta["mac_seq"] = self._mac_seq
+        accepted = self.queues.push(frame)
+        if accepted:
+            self._on_enqueue(frame)
+        return accepted
+
+    def add_delivery_handler(self, handler: DeliveryHandler,
+                             include_duplicates: bool = False) -> None:
+        """Subscribe ``handler(frame, now)`` to delivered DATA frames.
+
+        By default a handler fires once per unique (flow, seq) — MAC
+        retransmissions after a lost ACK must not double-count
+        throughput.  A transport like TCP subscribes with
+        ``include_duplicates=True``: a retransmitted segment whose
+        original ACK was lost must still provoke a fresh cumulative
+        ACK or the connection deadlocks.
+        """
+        self._delivery_handlers.append((handler, include_duplicates))
+
+    def _deliver_up(self, frame: Frame) -> None:
+        """De-duplicate and fan a received DATA frame out to subscribers.
+
+        Duplicate detection is MAC-level (sender id + MAC sequence
+        number): only link-layer retransmissions are suppressed; a
+        transport-layer retransmission is a new MAC frame and always
+        goes up.  Hand-crafted frames without a MAC sequence fall back
+        to the transport (flow, seq) identity.
+        """
+        if "mac_seq" in frame.meta:
+            key = ("mac", frame.src, frame.meta["mac_seq"])
+        else:
+            key = (frame.flow or (frame.src, self.node.node_id), frame.seq)
+        duplicate = key in self._seen
+        self._seen.add(key)
+        for handler, include_duplicates in self._delivery_handlers:
+            if duplicate and not include_duplicates:
+                continue
+            handler(frame, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, frame: Frame) -> None:
+        """Called after a frame enters a queue; start channel access here."""
+
+    def start(self) -> None:
+        """Called once when the simulation begins."""
+
+    # ------------------------------------------------------------------
+    # Radio callbacks (default: ignore)
+    # ------------------------------------------------------------------
+    def on_receive(self, frame: Frame, rss_dbm: float) -> None:
+        """A locked frame decoded successfully."""
+
+    def on_receive_failed(self, frame: Frame, rss_dbm: float) -> None:
+        """A locked frame failed (collision / low SINR / TX interruption)."""
+
+    def on_trigger(self, frame: Frame, sinr_db: float, rss_dbm: float,
+                   overlapping_signatures: int) -> None:
+        """A TRIGGER burst finished arriving (correlation path)."""
+
+    def on_queue_report(self, frame: Frame, rss_dbm: float) -> None:
+        """An ROP queue-report OFDM symbol finished arriving."""
+
+    def on_channel_busy(self) -> None:
+        """Carrier sense went busy."""
+
+    def on_channel_idle(self) -> None:
+        """Carrier sense went idle."""
+
+    def on_tx_end(self, frame: Frame) -> None:
+        """Our own transmission of ``frame`` just finished."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def radio(self):
+        return self.node.radio
+
+    def channel_busy(self) -> bool:
+        return self.radio.channel_busy()

@@ -1,0 +1,241 @@
+"""CENTAUR: the hybrid centralized/distributed baseline (Sec. 1, 4.2).
+
+CENTAUR (Shrivastava et al., MobiCom'09) centrally schedules the
+**downlink** through the wired backbone while the uplink stays plain
+DCF.  The model here captures the three behaviours the paper's
+evaluation leans on:
+
+* conflicting (hidden-terminal) downlinks are placed in different
+  epochs, so CENTAUR has essentially zero downlink ACK timeouts;
+* exposed downlinks share an epoch and are *aligned* with carrier
+  sensing plus a **fixed** backoff: after every busy period each
+  waiting AP restarts the same fixed count, so APs that hear each
+  other fire simultaneously;
+* epochs are released with a **batch barrier**: the controller
+  dispatches epoch ``k+1`` only after every AP reports epoch ``k``
+  complete.  When the schedulable links cannot actually align
+  (Fig. 13b: senders out of mutual carrier-sense range starving a
+  common exposed link), the barrier makes CENTAUR *worse* than DCF —
+  Table 3's headline pathology.
+
+Uplink clients run unmodified :class:`~repro.mac.dcf.DcfMac` and
+disturb the downlink schedule exactly as Sec. 1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..sched.rand_scheduler import RandScheduler
+from ..sim.engine import Event, Simulator
+from ..sim.medium import Medium
+from ..sim.node import Node
+from ..sim.wire import WiredBackbone
+from ..topology.builder import Topology
+from ..topology.conflict_graph import build_conflict_graph
+from ..topology.links import Link
+from .dcf import DcfMac
+
+DEFAULT_FIXED_BACKOFF = 4
+
+
+class CentaurApMac(DcfMac):
+    """An AP whose downlink transmissions are gated by central grants."""
+
+    def __init__(self, sim: Simulator, node: Node, medium: Medium,
+                 queue_capacity: int = 100,
+                 fixed_backoff: int = DEFAULT_FIXED_BACKOFF,
+                 seed: Optional[int] = None):
+        super().__init__(sim, node, medium, queue_capacity,
+                         fixed_backoff=fixed_backoff, seed=seed)
+        self._credits: Dict[int, int] = {}
+        self._grant_id: Optional[int] = None
+        self._grant_reported = True
+        self.send_to_controller = None  # set by the controller
+
+    # ------------------------------------------------------------------
+    # Grants
+    # ------------------------------------------------------------------
+    def grant(self, grant_id: int, credits: Dict[int, int]) -> None:
+        """Authorize sending ``credits[dst]`` packets per destination."""
+        self._grant_id = grant_id
+        self._grant_reported = False
+        self._credits = dict(credits)
+        if self._phase == self.IDLE and self._current is None:
+            self._start_service()
+
+    def _grantable_queue(self):
+        for dst, credit in self._credits.items():
+            if credit > 0 and self.queues.backlog_for(dst) > 0:
+                return self.queues.queue_for(dst)
+        return None
+
+    def _grant_exhausted(self) -> bool:
+        """Nothing more can be sent under the current grant."""
+        return self._grantable_queue() is None
+
+    def _report_done(self) -> None:
+        if self._grant_reported or self.send_to_controller is None:
+            return
+        self._grant_reported = True
+        self.send_to_controller({
+            "type": "epoch_done",
+            "ap": self.node.node_id,
+            "grant": self._grant_id,
+        })
+
+    # ------------------------------------------------------------------
+    # DCF service loop overrides
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, frame) -> None:
+        # New downlink data helps only if a grant covers it.
+        if self._phase == self.IDLE and self._current is None:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        queue = self._grantable_queue()
+        if queue is None:
+            self._phase = self.IDLE
+            if self._grant_id is not None and self._grant_exhausted():
+                self._report_done()
+            return
+        self._current = queue.pop()
+        self._retries = 0
+        self._begin_access()
+
+    def _finish_current(self, success: bool) -> None:
+        frame = self._current
+        if frame is not None and frame.dst in self._credits:
+            self._credits[frame.dst] -= 1
+        super()._finish_current(success)
+
+
+@dataclass
+class EpochRecord:
+    grant_id: int
+    links: List[Link]
+    dispatched_at: float
+    completed_at: Optional[float] = None
+
+
+class CentaurController:
+    """Epoch scheduler with batch barrier over the wired backbone."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 wire: WiredBackbone, ap_macs: Dict[int, CentaurApMac],
+                 epoch_packets: int = 5):
+        self.sim = sim
+        self.topology = topology
+        self.wire = wire
+        self.ap_macs = ap_macs
+        self.epoch_packets = epoch_packets
+        imap = topology.interference_map()
+        self.downlinks = topology.downlinks()
+        self.graph = build_conflict_graph(imap, self.downlinks)
+        self.scheduler = RandScheduler(self.graph, self.downlinks)
+        self._grant_counter = 0
+        self._outstanding: Dict[int, set] = {}
+        self.epochs: List[EpochRecord] = []
+        self.IDLE_POLL_US = 200.0
+
+        wire.register(WiredBackbone.SERVER_ID, self._on_wire_message)
+        for ap_id, mac in ap_macs.items():
+            wire.register(
+                ap_id,
+                lambda src, msg, ap=ap_id: self._on_ap_delivery(ap, msg),
+            )
+            mac.send_to_controller = (
+                lambda msg, ap=ap_id:
+                self.wire.send(ap, WiredBackbone.SERVER_ID, msg)
+            )
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._dispatch_epoch)
+
+    # ------------------------------------------------------------------
+    def _demands(self) -> Dict[Link, int]:
+        """CENTAUR's data path runs through the controller, so downlink
+        queue state is known exactly."""
+        demands = {}
+        for link in self.downlinks:
+            backlog = self.ap_macs[link.src].queues.backlog_for(link.dst)
+            if backlog > 0:
+                demands[link] = min(backlog, self.epoch_packets)
+        return demands
+
+    def _dispatch_epoch(self) -> None:
+        demands = self._demands()
+        if not demands:
+            self.sim.schedule(self.IDLE_POLL_US, self._dispatch_epoch)
+            return
+        schedule = self.scheduler.schedule_batch(demands, max_slots=1)
+        if not len(schedule):
+            self.sim.schedule(self.IDLE_POLL_US, self._dispatch_epoch)
+            return
+        links = schedule[0]
+        self._grant_counter += 1
+        grant_id = self._grant_counter
+        self._outstanding[grant_id] = {link.src for link in links}
+        self.epochs.append(EpochRecord(grant_id=grant_id, links=list(links),
+                                       dispatched_at=self.sim.now))
+        per_ap: Dict[int, Dict[int, int]] = {}
+        for link in links:
+            per_ap.setdefault(link.src, {})[link.dst] = min(
+                demands.get(link, self.epoch_packets), self.epoch_packets
+            )
+        for ap_id, credits in per_ap.items():
+            self.wire.send(WiredBackbone.SERVER_ID, ap_id,
+                           {"type": "grant", "grant": grant_id,
+                            "credits": credits})
+
+    def _on_ap_delivery(self, ap_id: int, message: Any) -> None:
+        """Wire delivery at an AP: hand the grant to its MAC."""
+        if message.get("type") != "grant":
+            return
+        self.ap_macs[ap_id].grant(message["grant"], message["credits"])
+
+    def _on_wire_message(self, src_id: int, message: Any) -> None:
+        if message.get("type") != "epoch_done":
+            return
+        grant_id = message["grant"]
+        waiting = self._outstanding.get(grant_id)
+        if waiting is None:
+            return
+        waiting.discard(message["ap"])
+        if not waiting:
+            del self._outstanding[grant_id]
+            for record in self.epochs:
+                if record.grant_id == grant_id:
+                    record.completed_at = self.sim.now
+            # Batch barrier released: next epoch.
+            self._dispatch_epoch()
+
+
+def build_centaur_network(sim: Simulator, topology: Topology,
+                          queue_capacity: int = 100,
+                          epoch_packets: int = 5,
+                          fixed_backoff: int = DEFAULT_FIXED_BACKOFF,
+                          wire_mean_us: float = 285.0,
+                          wire_std_us: float = 22.0):
+    """Medium, AP/client MACs, wire and controller in one call.
+
+    APs get :class:`CentaurApMac` (granted, fixed backoff); clients get
+    plain :class:`DcfMac` for the unscheduled uplink.
+    """
+    medium = topology.build_medium(sim)
+    macs: Dict[int, DcfMac] = {}
+    ap_macs: Dict[int, CentaurApMac] = {}
+    for node in topology.network:
+        if node.is_ap:
+            mac = CentaurApMac(sim, node, medium,
+                               queue_capacity=queue_capacity,
+                               fixed_backoff=fixed_backoff)
+            ap_macs[node.node_id] = mac
+        else:
+            mac = DcfMac(sim, node, medium, queue_capacity=queue_capacity)
+        macs[node.node_id] = mac
+    wire = WiredBackbone(sim, mean_us=wire_mean_us, std_us=wire_std_us)
+    controller = CentaurController(sim, topology, wire, ap_macs,
+                                   epoch_packets=epoch_packets)
+    return medium, macs, controller

@@ -1,0 +1,288 @@
+"""802.11 DCF: CSMA/CA with binary exponential backoff.
+
+This is the distributed baseline the paper compares against
+(Sec. 4.2.1: "the MAC parameters are set according to 802.11g
+standard").  Implemented faithfully enough for the effects the
+evaluation probes to emerge from the PHY model rather than be wired
+in:
+
+* **hidden terminals** collide because the senders cannot carrier-
+  sense each other and the ACK-timeout/backoff spiral follows;
+* **exposed terminals** serialize because carrier sensing freezes the
+  backoff of a sender that could in fact transmit safely;
+* collisions happen when backoff counters of contending nodes reach
+  zero in the same slot, exactly as in the standard.
+
+Simplifications (documented, standard in packet-level simulators):
+a post-DIFS random backoff is always drawn (no immediate-transmit
+shortcut), and EIFS is not modelled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.engine import Event, Simulator
+from ..sim.medium import Medium
+from ..sim.node import Node
+from ..sim.packet import Frame, FrameKind, ack_frame
+from .base import Mac
+
+
+@dataclass
+class DcfStats:
+    """Counters matching what Sec. 4.2.3 reports (e.g. ACK timeouts)."""
+
+    data_tx: int = 0
+    retransmissions: int = 0
+    ack_timeouts: int = 0
+    drops: int = 0
+    acks_sent: int = 0
+    successes: int = 0
+
+
+class DcfMac(Mac):
+    """One DCF station (AP or client)."""
+
+    # Access phases.  ACK transmission is tracked separately because it
+    # is an immediate, CS-free response that can interleave anywhere.
+    IDLE = "idle"
+    WAIT_IDLE = "wait_idle"   # queue has data, channel busy
+    DIFS = "difs"
+    BACKOFF = "backoff"
+    TX = "tx"
+    WAIT_ACK = "wait_ack"
+
+    def __init__(self, sim: Simulator, node: Node, medium: Medium,
+                 queue_capacity: int = 100,
+                 fixed_backoff: Optional[int] = None,
+                 seed: Optional[int] = None):
+        super().__init__(sim, node, medium, queue_capacity)
+        self._rng = random.Random(
+            seed if seed is not None else sim.rng.getrandbits(64)
+        )
+        self.fixed_backoff = fixed_backoff
+        self.stats = DcfStats()
+        self._phase = self.IDLE
+        self._cw = self.profile.cw_min
+        self._backoff_remaining: Optional[int] = None
+        self._current: Optional[Frame] = None
+        self._retries = 0
+        self._timer: Optional[Event] = None
+        self._ack_timer: Optional[Event] = None
+        self._sending_ack = False
+        # Virtual carrier sense: overheard data frames reserve the
+        # medium through their ACK (the 802.11 duration/NAV field).
+        self._nav_until = 0.0
+        self._nav_timer: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, frame: Frame) -> None:
+        if self._phase == self.IDLE and self._current is None:
+            self._start_service()
+
+    def start(self) -> None:
+        if self._current is None and self.queues.total_backlog() > 0:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        """Pull the next frame and begin channel access for it."""
+        queue = self.queues.next_nonempty()
+        if queue is None:
+            self._phase = self.IDLE
+            return
+        self._current = queue.pop()
+        self._retries = 0
+        self._begin_access()
+
+    def _draw_backoff(self) -> int:
+        if self.fixed_backoff is not None:
+            return self.fixed_backoff
+        return self._rng.randint(0, self._cw)
+
+    def _begin_access(self) -> None:
+        """(Re)start DIFS + backoff for the current frame."""
+        self._backoff_remaining = self._draw_backoff()
+        self._await_idle_then_difs()
+
+    def _nav_active(self) -> bool:
+        return self.sim.now < self._nav_until
+
+    def _set_nav(self, until: float) -> None:
+        if until <= self._nav_until:
+            return
+        self._nav_until = until
+        if self._phase in (self.DIFS, self.BACKOFF):
+            self.on_channel_busy()
+        if self._nav_timer is not None:
+            self._nav_timer.cancel()
+        self._nav_timer = self.sim.schedule_at(until, self._nav_expired)
+
+    def _nav_expired(self) -> None:
+        self._nav_timer = None
+        if self._phase == self.WAIT_IDLE and not self.channel_busy():
+            self.on_channel_idle()
+
+    def _await_idle_then_difs(self) -> None:
+        self._cancel_timer()
+        if self.channel_busy() or self._nav_active():
+            self._phase = self.WAIT_IDLE
+            return
+        self._phase = self.DIFS
+        self._timer = self.sim.schedule(self.profile.difs_us, self._difs_done)
+
+    def _difs_done(self) -> None:
+        self._timer = None
+        self._phase = self.BACKOFF
+        self._tick_backoff()
+
+    def _tick_backoff(self) -> None:
+        if self._backoff_remaining is None:
+            return
+        if self._backoff_remaining <= 0:
+            # Commit point: stations that reach zero in the same slot
+            # collide, exactly as in the standard.
+            self._transmit_current()
+            return
+        if self.channel_busy() or self._nav_active():
+            self._freeze()
+            return
+        self._timer = self.sim.schedule(self.profile.slot_us, self._slot_elapsed)
+
+    def _slot_elapsed(self) -> None:
+        self._timer = None
+        if self._backoff_remaining is None:
+            return
+        self._backoff_remaining -= 1
+        self._tick_backoff()
+
+    def _freeze(self) -> None:
+        """Suspend the countdown until the medium clears."""
+        self._cancel_timer()
+        self._phase = self.WAIT_IDLE
+        if self.fixed_backoff is not None:
+            # Fixed-backoff stations (CENTAUR's downlink alignment
+            # trick) restart the full fixed count after every busy
+            # period, so all waiting senders count the same number of
+            # slots from the same idle edge and fire together.
+            self._backoff_remaining = self.fixed_backoff
+
+    def _transmit_current(self) -> None:
+        frame = self._current
+        if frame is None:
+            self._phase = self.IDLE
+            return
+        self._cancel_timer()
+        self._phase = self.TX
+        self._backoff_remaining = None
+        self.stats.data_tx += 1
+        if self._retries > 0:
+            self.stats.retransmissions += 1
+        self.radio.transmit(frame)
+
+    # ------------------------------------------------------------------
+    # Carrier sense edges
+    # ------------------------------------------------------------------
+    def on_channel_busy(self) -> None:
+        if self._phase not in (self.DIFS, self.BACKOFF):
+            return
+        # Carrier-sense detection takes a slot: a timer firing at this
+        # very instant already committed to its action (decrement or
+        # transmit), so let it run — this is what lets two stations
+        # whose counters expire together genuinely collide, and what
+        # lets CENTAUR's fixed-backoff APs fire simultaneously.
+        if self._timer is not None and self._timer.time <= self.sim.now + 1e-9:
+            return
+        self._freeze()
+
+    def on_channel_idle(self) -> None:
+        if self._phase == self.WAIT_IDLE and self._current is not None:
+            if self._nav_active():
+                return  # _nav_expired will resume us
+            self._await_idle_then_difs()
+
+    # ------------------------------------------------------------------
+    # Transmission outcomes
+    # ------------------------------------------------------------------
+    def on_tx_end(self, frame: Frame) -> None:
+        if frame.kind is FrameKind.ACK:
+            self._sending_ack = False
+            # Our ACK kept the channel busy for our own CS; resume.
+            if self._phase == self.WAIT_IDLE and not self.channel_busy():
+                self.on_channel_idle()
+            return
+        if frame is self._current:
+            self._phase = self.WAIT_ACK
+            self._ack_timer = self.sim.schedule(
+                self.profile.ack_timeout_us(), self._ack_timeout
+            )
+
+    def _ack_timeout(self) -> None:
+        self._ack_timer = None
+        self.stats.ack_timeouts += 1
+        self._retries += 1
+        if self._retries > self.profile.retry_limit:
+            self.stats.drops += 1
+            self._finish_current(success=False)
+            return
+        self._cw = min(2 * self._cw + 1, self.profile.cw_max)
+        self._begin_access()
+
+    def _finish_current(self, success: bool) -> None:
+        if success:
+            self.stats.successes += 1
+        self._current = None
+        self._cw = self.profile.cw_min
+        self._start_service()
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def on_receive(self, frame: Frame, rss_dbm: float) -> None:
+        if frame.kind is FrameKind.DATA and frame.dst == self.node.node_id:
+            self._deliver_up(frame)
+            self.sim.schedule(self.profile.sifs_us, self._send_ack, frame)
+            return
+        if frame.kind is FrameKind.DATA and frame.dst != self.node.node_id:
+            # Overheard unicast data: honour its NAV through the ACK —
+            # or further, when the frame reserves a whole contention-
+            # free period (Sec. 5 coexistence).
+            nav_until = max(
+                self.sim.now + self.profile.sifs_us
+                + self.profile.ack_airtime_us(),
+                frame.meta.get("nav_until", 0.0),
+            )
+            self._set_nav(nav_until)
+            return
+        if (frame.kind is FrameKind.ACK and frame.dst == self.node.node_id
+                and self._phase == self.WAIT_ACK
+                and self._current is not None
+                and frame.seq == self._current.seq):
+            if self._ack_timer is not None:
+                self._ack_timer.cancel()
+                self._ack_timer = None
+            self._finish_current(success=True)
+
+    def _send_ack(self, data: Frame) -> None:
+        if self.radio.transmitting:
+            return  # cannot ACK while transmitting something else
+        ack = ack_frame(self.node.node_id, data.src, data.seq, flow=data.flow)
+        self._sending_ack = True
+        self.stats.acks_sent += 1
+        self.radio.transmit(ack)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DcfMac(node={self.node.node_id}, phase={self._phase}, "
+                f"cw={self._cw}, backlog={self.queues.total_backlog()})")

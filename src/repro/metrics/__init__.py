@@ -1,0 +1,7 @@
+"""Metrics: throughput/delay/fairness accounting and slot timelines."""
+
+from .stats import FlowRecord, FlowRecorder, jain_index
+from .timeline import SlotEvent, TimelineRecorder
+
+__all__ = ["FlowRecord", "FlowRecorder", "SlotEvent", "TimelineRecorder",
+           "jain_index"]

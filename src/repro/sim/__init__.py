@@ -1,0 +1,30 @@
+"""Discrete-event wireless simulation substrate.
+
+This package replaces the paper's ns-3 substrate: a microsecond-clock
+event engine (:mod:`engine`), an RSS/SINR broadcast medium
+(:mod:`medium`), per-node half-duplex radios with carrier sensing and
+preamble capture (:mod:`radio`), PHY profiles (:mod:`phy`), frames
+(:mod:`packet`), nodes (:mod:`node`) and the jittery wired backbone
+(:mod:`wire`).
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .medium import Medium, Transmission
+from .node import Network, Node, NodeKind
+from .packet import (ACK_BYTES, MAC_HEADER_BYTES, POLL_BYTES, Frame,
+                     FrameKind, ack_frame, data_frame, fake_frame)
+from .phy import (DOT11G, MAX_NODES_PER_DOMAIN, SIGNATURE_CORRELATION_GAIN_DB,
+                  SIGNATURE_US, USRP, PhyProfile, dbm_to_mw, mw_to_dbm,
+                  profile_by_name)
+from .radio import Radio, Reception
+from .wire import WiredBackbone, WireStats
+
+__all__ = [
+    "ACK_BYTES", "DOT11G", "Event", "Frame", "FrameKind",
+    "MAC_HEADER_BYTES", "MAX_NODES_PER_DOMAIN", "Medium", "Network",
+    "Node", "NodeKind", "POLL_BYTES", "PhyProfile", "Radio", "Reception",
+    "SIGNATURE_CORRELATION_GAIN_DB", "SIGNATURE_US", "SimulationError",
+    "Simulator", "Transmission", "USRP", "WireStats", "WiredBackbone",
+    "ack_frame", "data_frame", "dbm_to_mw", "fake_frame", "mw_to_dbm",
+    "profile_by_name",
+]

@@ -1,0 +1,165 @@
+"""Frame and packet types exchanged over the simulated medium.
+
+A :class:`Frame` is anything that occupies the wireless channel: data
+packets, ACKs, ROP polling packets, the one-OFDM-symbol queue reports,
+and DOMINO trigger bursts (combined node signatures followed by the
+START signature, Fig. 8 of the paper).
+
+Sizes follow the paper's evaluation setup: 512-byte data payloads,
+802.11-style 14-byte ACKs.  *Fake* packets — inserted by the schedule
+converter to keep trigger chains alive (Sec. 3.3) — carry only a MAC
+header, which is why their airtime is much shorter than a real packet.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+
+class FrameKind(enum.Enum):
+    """What a frame is, which determines its airtime and handling."""
+
+    DATA = "data"                  # payload-bearing MPDU
+    ACK = "ack"                    # link-layer acknowledgement
+    FAKE = "fake"                  # header-only fake packet (Sec. 3.3)
+    POLL = "poll"                  # ROP polling broadcast from an AP
+    QUEUE_REPORT = "queue_report"  # one-OFDM-symbol client queue report
+    TRIGGER = "trigger"            # combined signatures + START signature
+    BEACON = "beacon"              # interference-measurement broadcast
+
+
+# MAC-level sizes in bytes.  DATA frames add their payload on top of
+# MAC_HEADER_BYTES; ACK/POLL/FAKE/BEACON are fixed-size.
+MAC_HEADER_BYTES = 28
+ACK_BYTES = 14
+POLL_BYTES = 20
+BEACON_BYTES = 20
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """A single occupation of the wireless channel.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`FrameKind`.
+    src, dst:
+        Node ids.  ``dst`` is ``None`` for broadcasts (POLL, TRIGGER,
+        QUEUE_REPORT which is addressed to the polling AP implicitly).
+    payload_bytes:
+        Payload size for DATA frames; ignored for control frames whose
+        airtime is fixed by kind.
+    flow:
+        Opaque flow identifier ``(src, dst)`` of the *transport* flow,
+        used by the metrics layer.  For ACK/control frames it names the
+        flow being served.
+    seq:
+        Transport-level sequence number (DATA) or echoed number (ACK).
+    enqueued_at:
+        Simulation time the packet entered the MAC queue; delay is
+        measured from here, matching the paper's definition
+        ("from the time a packet is queued to the time it is
+        successfully delivered").
+    retries:
+        Number of MAC retransmissions already attempted.
+    meta:
+        Protocol-specific extras.  DOMINO uses:
+
+        ``slot``            global slot index the frame belongs to,
+        ``targets``         frozenset of node ids whose signatures are
+                            combined into a TRIGGER,
+        ``rop``             bool, TRIGGER announces an ROP slot next,
+        ``client_signature``  signature samples an AP hands its client
+                            (S1 in Fig. 8),
+        ``queue_len``       the 6-bit queue length in a QUEUE_REPORT,
+        ``subchannel``      ROP subchannel index of a QUEUE_REPORT.
+    """
+
+    kind: FrameKind
+    src: int
+    dst: Optional[int]
+    payload_bytes: int = 0
+    flow: Optional[Tuple[int, int]] = None
+    seq: int = 0
+    enqueued_at: float = 0.0
+    retries: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_frame_ids))
+
+    def mac_bytes(self) -> int:
+        """Total bytes clocked out at the PHY data rate."""
+        if self.kind is FrameKind.DATA:
+            return MAC_HEADER_BYTES + self.payload_bytes
+        if self.kind is FrameKind.ACK:
+            return ACK_BYTES
+        if self.kind is FrameKind.POLL:
+            return POLL_BYTES
+        if self.kind is FrameKind.BEACON:
+            return BEACON_BYTES
+        if self.kind is FrameKind.FAKE:
+            # Only the header of the fake packet is sent (Sec. 3.3).
+            return MAC_HEADER_BYTES
+        # TRIGGER and QUEUE_REPORT airtimes are fixed durations, not
+        # rate-dependent byte counts; see PhyProfile.frame_airtime_us.
+        return 0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+    def trigger_targets(self) -> FrozenSet[int]:
+        """Node ids whose signatures this TRIGGER combines."""
+        return self.meta.get("targets", frozenset())
+
+    def clone_for_retry(self) -> "Frame":
+        """Copy with a fresh uid and incremented retry counter."""
+        return Frame(
+            kind=self.kind,
+            src=self.src,
+            dst=self.dst,
+            payload_bytes=self.payload_bytes,
+            flow=self.flow,
+            seq=self.seq,
+            enqueued_at=self.enqueued_at,
+            retries=self.retries + 1,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = "*" if self.dst is None else self.dst
+        return (
+            f"Frame(#{self.uid} {self.kind.value} {self.src}->{dst}"
+            f" seq={self.seq} bytes={self.mac_bytes()})"
+        )
+
+
+def data_frame(src: int, dst: int, payload_bytes: int, seq: int,
+               enqueued_at: float, flow: Optional[Tuple[int, int]] = None) -> Frame:
+    """Convenience constructor for a payload-bearing frame."""
+    return Frame(
+        kind=FrameKind.DATA,
+        src=src,
+        dst=dst,
+        payload_bytes=payload_bytes,
+        flow=flow if flow is not None else (src, dst),
+        seq=seq,
+        enqueued_at=enqueued_at,
+    )
+
+
+def ack_frame(src: int, dst: int, seq: int,
+              flow: Optional[Tuple[int, int]] = None) -> Frame:
+    """ACK for DATA ``seq`` sent back from ``src`` to ``dst``."""
+    return Frame(kind=FrameKind.ACK, src=src, dst=dst, seq=seq, flow=flow)
+
+
+def fake_frame(src: int, dst: int, slot: int) -> Frame:
+    """Header-only fake packet keeping a trigger chain alive."""
+    return Frame(kind=FrameKind.FAKE, src=src, dst=dst,
+                 meta={"slot": slot, "fake": True})

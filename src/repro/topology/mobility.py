@@ -1,0 +1,62 @@
+"""Node mobility: move a node and update the ground-truth RSS matrix.
+
+The paper's evaluation assumes a static conflict graph and discusses
+(Sec. 5) how a real deployment would refresh it under mobility.  This
+module provides the ground-truth side of that story: move a node,
+recompute its row/column of the RSS matrix with the propagation
+model, and invalidate the medium's reachability cache.  The
+*controller* does not see any of this until a measurement campaign
+(:mod:`repro.topology.measurement`) tells it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from .propagation import LogDistanceModel, Position, WallCounter
+from .trace import SyntheticTrace
+
+
+def move_node(trace: SyntheticTrace, node_id: int, new_pos: Position,
+              model: Optional[LogDistanceModel] = None,
+              tx_power_dbm: float = 15.0,
+              wall_counter: Optional[WallCounter] = None,
+              seed: int = 0) -> None:
+    """Teleport ``node_id`` to ``new_pos`` and refresh its RSS in place.
+
+    The matrix object is mutated (no replacement), so media built from
+    ``trace.rss_fn()`` see the change immediately — modulo their
+    reachability caches, which the caller must invalidate
+    (``medium.invalidate_topology()``).
+    """
+    if not trace.positions:
+        raise ValueError("trace has no positions; cannot move nodes")
+    prop = model if model is not None else LogDistanceModel()
+    rng = random.Random(seed ^ (node_id * 2_654_435_761))
+    trace.positions[node_id] = new_pos
+    for other in range(trace.n_nodes):
+        if other == node_id:
+            continue
+        ox, oy = trace.positions[other]
+        distance = math.hypot(new_pos[0] - ox, new_pos[1] - oy)
+        walls = wall_counter(new_pos, (ox, oy)) if wall_counter else 0
+        loss = prop.path_loss_db(distance, walls)
+        shadow = rng.gauss(0.0, prop.shadowing_sigma_db)
+        base = tx_power_dbm - loss - shadow
+        asym = rng.gauss(0.0, prop.asymmetry_sigma_db)
+        trace.rss_dbm[node_id][other] = base + asym / 2.0
+        trace.rss_dbm[other][node_id] = base - asym / 2.0
+
+
+def place_near(trace: SyntheticTrace, node_id: int, target_id: int,
+               distance_m: float,
+               model: Optional[LogDistanceModel] = None,
+               tx_power_dbm: float = 15.0, seed: int = 0) -> Position:
+    """Move ``node_id`` to ``distance_m`` from ``target_id`` (due east)."""
+    tx, ty = trace.positions[target_id]
+    new_pos = (tx + distance_m, ty)
+    move_node(trace, node_id, new_pos, model=model,
+              tx_power_dbm=tx_power_dbm, seed=seed)
+    return new_pos

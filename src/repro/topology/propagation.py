@@ -1,0 +1,120 @@
+"""Indoor radio propagation: log-distance path loss + walls + shadowing.
+
+The paper drives its large-scale ns-3 evaluation from an RSS trace
+measured between 40 real WiFi nodes in two buildings, and its random
+experiment (Fig. 14) from ns-3's default path-loss model.  We do not
+have the measured trace, so both modes are generated here:
+
+* :class:`LogDistanceModel` — the classic model
+  ``PL(d) = PL0 + 10 n log10(d / d0) + walls * wall_loss + X_sigma``
+  with lognormal shadowing ``X_sigma``.  With the default indoor
+  exponent (3.3) and shadowing (sigma = 6 dB) the resulting RSS matrix
+  has the qualitative properties the paper reports for its testbed —
+  in particular only a fraction of a percent of co-located client
+  pairs differ by more than 38 dB (checked in the trace tests).
+
+Shadowing is drawn once per ordered pair and is *mostly* reciprocal:
+a small asymmetry term models antenna/orientation differences, so the
+RSS matrix is nearly but not exactly symmetric, like real traces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+Position = Tuple[float, float]
+WallCounter = Callable[[Position, Position], int]
+
+
+@dataclass
+class LogDistanceModel:
+    """Log-distance path loss with optional walls and shadowing.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n`` (3.3 is a typical obstructed indoor
+        value; 3.0 matches ns-3's default LogDistancePropagationLossModel).
+    pl0_db:
+        Path loss at the reference distance ``d0`` (1 m).  46.7 dB is
+        free space at 2.4 GHz.
+    shadowing_sigma_db:
+        Standard deviation of lognormal shadowing; 0 disables it.
+    wall_loss_db:
+        Loss per wall crossed, used with a wall counter callback.
+    asymmetry_sigma_db:
+        Std-dev of the direction-dependent term making RSS(i,j) differ
+        slightly from RSS(j,i).
+    """
+
+    exponent: float = 3.0
+    pl0_db: float = 46.7
+    d0_m: float = 1.0
+    shadowing_sigma_db: float = 3.0
+    wall_loss_db: float = 0.5
+    asymmetry_sigma_db: float = 1.0
+    min_distance_m: float = 0.5
+
+    def path_loss_db(self, distance_m: float, walls: int = 0) -> float:
+        """Deterministic path loss at ``distance_m`` through ``walls`` walls."""
+        d = max(distance_m, self.min_distance_m)
+        loss = self.pl0_db + 10.0 * self.exponent * math.log10(d / self.d0_m)
+        return loss + walls * self.wall_loss_db
+
+    def rss_matrix(
+        self,
+        positions: Sequence[Position],
+        tx_power_dbm: float,
+        seed: int = 0,
+        wall_counter: Optional[WallCounter] = None,
+    ) -> np.ndarray:
+        """Full pairwise RSS matrix in dBm.
+
+        ``matrix[i, j]`` is the RSS at node ``j`` when node ``i``
+        transmits.  The diagonal is ``+inf`` sentinel-free: it is set
+        to ``tx_power_dbm`` (a node trivially hears itself) but is
+        never used by the medium.
+        """
+        rng = random.Random(seed)
+        n = len(positions)
+        matrix = np.full((n, n), -200.0)
+        for i in range(n):
+            matrix[i, i] = tx_power_dbm
+            for j in range(i + 1, n):
+                xi, yi = positions[i]
+                xj, yj = positions[j]
+                dist = math.hypot(xi - xj, yi - yj)
+                walls = wall_counter(positions[i], positions[j]) if wall_counter else 0
+                loss = self.path_loss_db(dist, walls)
+                shadow = rng.gauss(0.0, self.shadowing_sigma_db)
+                base = tx_power_dbm - loss - shadow
+                asym = rng.gauss(0.0, self.asymmetry_sigma_db)
+                matrix[i, j] = base + asym / 2.0
+                matrix[j, i] = base - asym / 2.0
+        return matrix
+
+
+# ns-3-flavoured defaults for the Fig. 14 random experiment: the paper
+# says it "uses the default path loss model in ns3", which is
+# LogDistance with exponent 3.0 and no shadowing.
+NS3_DEFAULT = LogDistanceModel(
+    exponent=3.0,
+    pl0_db=46.7,
+    shadowing_sigma_db=0.0,
+    wall_loss_db=0.0,
+    asymmetry_sigma_db=0.0,
+)
+
+
+def matrix_rss_fn(matrix: np.ndarray) -> Callable[[int, int], float]:
+    """Adapt an RSS matrix to the ``rss_dbm(tx, rx)`` medium callback."""
+
+    def rss(tx_id: int, rx_id: int) -> float:
+        return float(matrix[tx_id, rx_id])
+
+    return rss

@@ -1,0 +1,14 @@
+"""Traffic: MAC queues, CBR/saturated UDP sources, TCP-Reno-lite."""
+
+from .queueing import ROP_MAX_REPORT, MacQueue, QueueSet
+from .tcp import TCP_ACK_BYTES, TcpFlow, TcpStats
+from .udp import DEFAULT_PAYLOAD_BYTES, CbrSource, SaturatedSource
+from .virtual_packets import (Reassembler, ReassembledPacket,
+                              VirtualPacketizer)
+
+__all__ = [
+    "CbrSource", "DEFAULT_PAYLOAD_BYTES", "MacQueue", "QueueSet",
+    "ROP_MAX_REPORT", "Reassembler", "ReassembledPacket",
+    "SaturatedSource", "TCP_ACK_BYTES", "TcpFlow", "TcpStats",
+    "VirtualPacketizer",
+]

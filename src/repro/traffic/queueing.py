@@ -1,0 +1,122 @@
+"""Per-destination MAC transmit queues.
+
+Every MAC owns one FIFO per destination.  Queue lengths are what ROP
+reports back to the controller, clamped to the 6-bit field of the
+queue-report OFDM symbol (Sec. 3.1: "a maximum queue size of 63 ...
+we can report 63 first packets and keep track of the number of
+unreported packets").
+
+Virtual packets (Sec. 3.5, "Different packet sizes and data rates"):
+DOMINO assumes fixed-airtime slots, so nodes report queue backlog in
+*virtual packets* — payload bytes divided by the nominal slot payload,
+rounded up.  With the evaluation's fixed 512 B packets a virtual
+packet equals a real packet, but the accounting is implemented and
+tested for mixed sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+from ..sim.packet import Frame
+
+ROP_MAX_REPORT = 63  # 2^6 - 1, one ROP subchannel carries 6 bits
+
+
+@dataclass
+class QueueStats:
+    enqueued: int = 0
+    dropped: int = 0
+    dequeued: int = 0
+
+
+class MacQueue:
+    """Drop-tail FIFO of DATA frames bound for one destination."""
+
+    def __init__(self, capacity: int = 100):
+        self.capacity = capacity
+        self._frames: Deque[Frame] = deque()
+        self.stats = QueueStats()
+
+    def push(self, frame: Frame) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if len(self._frames) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._frames.append(frame)
+        self.stats.enqueued += 1
+        return True
+
+    def pop(self) -> Frame:
+        self.stats.dequeued += 1
+        return self._frames.popleft()
+
+    def peek(self) -> Optional[Frame]:
+        return self._frames[0] if self._frames else None
+
+    def requeue_front(self, frame: Frame) -> None:
+        """Put a frame back at the head (failed transmission retry)."""
+        self._frames.appendleft(frame)
+        self.stats.dequeued -= 1
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)
+
+    def virtual_packets(self, slot_payload_bytes: int) -> int:
+        """Backlog in fixed-airtime virtual packets (Sec. 3.5)."""
+        if slot_payload_bytes <= 0:
+            raise ValueError("slot payload must be positive")
+        total = 0
+        for frame in self._frames:
+            total += max(1, math.ceil(frame.payload_bytes / slot_payload_bytes))
+        return total
+
+    def rop_report(self, slot_payload_bytes: int) -> int:
+        """The 6-bit value a client puts on its ROP subchannel."""
+        return min(ROP_MAX_REPORT, self.virtual_packets(slot_payload_bytes))
+
+
+class QueueSet:
+    """All transmit queues of one node, keyed by destination."""
+
+    def __init__(self, capacity: int = 100):
+        self.capacity = capacity
+        self._queues: Dict[int, MacQueue] = {}
+
+    def queue_for(self, dst: int) -> MacQueue:
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = MacQueue(self.capacity)
+            self._queues[dst] = queue
+        return queue
+
+    def push(self, frame: Frame) -> bool:
+        if frame.dst is None:
+            raise ValueError("cannot queue a broadcast frame")
+        return self.queue_for(frame.dst).push(frame)
+
+    def total_backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def backlog_for(self, dst: int) -> int:
+        queue = self._queues.get(dst)
+        return len(queue) if queue else 0
+
+    def destinations_with_data(self) -> List[int]:
+        return [dst for dst, q in self._queues.items() if q]
+
+    def next_nonempty(self) -> Optional[MacQueue]:
+        """Any non-empty queue, round-robin over destinations."""
+        with_data = self.destinations_with_data()
+        if not with_data:
+            return None
+        return self._queues[with_data[0]]
+
+    def items(self) -> Iterable:
+        return self._queues.items()

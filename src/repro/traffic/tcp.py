@@ -1,0 +1,287 @@
+"""TCP-Reno-lite over the simulated MACs.
+
+The paper's Fig. 12(d-f) runs TCP flows over all three MACs and notes
+two TCP-specific effects we need to reproduce:
+
+* "we treat the TCP ACK packet as a regular data packet and it takes
+  one whole slot" — ACKs here are ordinary DATA frames enqueued into
+  the reverse MAC queue, so they consume channel/slot resources like
+  everything else;
+* congestion control throttles the MAC queue, so TCP delay behaves
+  very differently from saturated UDP (Fig. 12e).
+
+The implementation is a compact Reno: slow start, congestion
+avoidance, triple-duplicate fast retransmit, and an RTO with Karn-
+style exponential backoff.  SACK/NewReno partial-ack subtleties are
+out of scope — MAC-level ARQ already repairs most losses, so the
+congestion picture matches the paper's setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..sim.engine import Event, Simulator
+from ..sim.packet import Frame, data_frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mac.base import Mac
+
+TCP_ACK_BYTES = 40
+
+
+@dataclass
+class TcpStats:
+    sent: int = 0
+    retransmits: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    delivered: int = 0
+    acked: int = 0
+
+
+class TcpFlow:
+    """One unidirectional TCP flow ``src -> dst`` with its ACK stream.
+
+    Parameters
+    ----------
+    src_mac, dst_mac:
+        The MACs of the two endpoints.  The flow subscribes to their
+        delivery handlers for data (at ``dst``) and ACKs (at ``src``).
+    app_rate_mbps:
+        Application offered load.  ``None`` means an infinite backlog
+        (file transfer); otherwise data becomes available at this rate
+        and the sender can go idle, as in the Fig. 12 rate sweeps.
+    """
+
+    INITIAL_RTO_US = 200_000.0
+    MIN_RTO_US = 20_000.0
+    MAX_RTO_US = 4_000_000.0
+    MAX_CWND = 64.0
+    #: Delayed-ACK policy (RFC 1122): acknowledge every second
+    #: in-order segment, or after this timer, whichever first.
+    #: Out-of-order and duplicate segments are ACKed immediately.
+    DELAYED_ACK_US = 10_000.0
+
+    def __init__(self, sim: Simulator, src_mac: "Mac", dst_mac: "Mac",
+                 payload_bytes: int = 512,
+                 app_rate_mbps: Optional[float] = None,
+                 start_us: float = 0.0):
+        self.sim = sim
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.src = src_mac.node.node_id
+        self.dst = dst_mac.node.node_id
+        self.flow: Tuple[int, int] = (self.src, self.dst)
+        self.ack_flow: Tuple[int, int] = (self.dst, self.src)
+        self.payload_bytes = payload_bytes
+        self.app_rate_mbps = app_rate_mbps
+        self.start_us = start_us
+        self.stats = TcpStats()
+
+        # Sender state.
+        self.cwnd = 2.0
+        self.ssthresh = 32.0
+        self.next_seq = 0
+        self.send_base = 0
+        self._app_available = 0          # packets the app has produced
+        self._send_times: Dict[int, float] = {}
+        self._retransmitted: Set[int] = set()
+        self._dup_acks = 0
+        self._rto_us = self.INITIAL_RTO_US
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto_timer: Optional[Event] = None
+
+        # Receiver state.
+        self._expected = 0
+        self._out_of_order: Set[int] = set()
+        self._unacked_in_order = 0
+        self._delayed_ack_timer: Optional[Event] = None
+
+        # MAC-level duplicates are filtered below us (802.11 SN dedup);
+        # what still reaches these handlers includes *transport*
+        # retransmissions, whose duplicate transport seq is exactly the
+        # dup-ACK signal the sender's fast retransmit needs.
+        src_mac.add_delivery_handler(self._on_src_delivery)
+        dst_mac.add_delivery_handler(self._on_dst_delivery)
+
+    # ------------------------------------------------------------------
+    # Application layer
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.app_rate_mbps is None:
+            self.sim.schedule(self.start_us, self._pump)
+            return
+        if self.app_rate_mbps <= 0:
+            return
+        interval = self.payload_bytes * 8.0 / self.app_rate_mbps
+        self.sim.schedule(self.start_us + interval, self._app_tick, interval)
+
+    def _app_tick(self, interval: float) -> None:
+        self._app_available += 1
+        self._pump()
+        self.sim.schedule(interval, self._app_tick, interval)
+
+    def _app_has_data(self) -> bool:
+        if self.app_rate_mbps is None:
+            return True
+        return self._app_available > 0
+
+    def _consume_app(self) -> None:
+        if self.app_rate_mbps is not None:
+            self._app_available -= 1
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.next_seq - self.send_base
+
+    def _pump(self) -> None:
+        """Send new segments while the window and the app allow."""
+        while self.in_flight < int(self.cwnd) and self._app_has_data():
+            self._send_segment(self.next_seq, new=True)
+            self._consume_app()
+            self.next_seq += 1
+
+    def _send_segment(self, seq: int, new: bool) -> None:
+        frame = data_frame(self.src, self.dst, self.payload_bytes,
+                           seq=seq, enqueued_at=self.sim.now, flow=self.flow)
+        self.stats.sent += 1
+        if not new:
+            self.stats.retransmits += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+        self.src_mac.enqueue(frame)
+        self._arm_rto()
+
+    def _arm_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+        self._rto_timer = self.sim.schedule(self._rto_us, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.send_base >= self.next_seq:
+            return  # nothing outstanding
+        self.stats.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self._dup_acks = 0
+        self._rto_us = min(self._rto_us * 2.0, self.MAX_RTO_US)
+        self._send_segment(self.send_base, new=False)
+
+    def _on_src_delivery(self, frame: Frame, now: float) -> None:
+        """ACK segments arriving back at the sender."""
+        if frame.flow != self.ack_flow or "tcp_ack" not in frame.meta:
+            return
+        ack = frame.meta["tcp_ack"]
+        if ack > self.send_base:
+            self._handle_new_ack(ack, now)
+        elif ack == self.send_base:
+            self._handle_dup_ack()
+
+    def _handle_new_ack(self, ack: int, now: float) -> None:
+        newly_acked = ack - self.send_base
+        self.stats.acked += newly_acked
+        # RTT sample from the highest newly acked, Karn's rule: skip
+        # retransmitted segments.
+        sample_seq = ack - 1
+        if sample_seq in self._send_times and sample_seq not in self._retransmitted:
+            self._update_rtt(now - self._send_times[sample_seq])
+        for seq in range(self.send_base, ack):
+            self._send_times.pop(seq, None)
+            self._retransmitted.discard(seq)
+        self.send_base = ack
+        self._dup_acks = 0
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0          # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+        self.cwnd = min(self.cwnd, self.MAX_CWND)
+        if self.send_base >= self.next_seq and self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+        elif self.send_base < self.next_seq:
+            self._arm_rto()
+        self._pump()
+
+    def _handle_dup_ack(self) -> None:
+        self._dup_acks += 1
+        if self._dup_acks == 3:
+            self.stats.fast_retransmits += 1
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh
+            self._send_segment(self.send_base, new=False)
+
+    def _update_rtt(self, sample_us: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample_us
+            self._rttvar = sample_us / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample_us)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample_us
+        self._rto_us = max(self.MIN_RTO_US,
+                           min(self._srtt + 4.0 * self._rttvar, self.MAX_RTO_US))
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _on_dst_delivery(self, frame: Frame, now: float) -> None:
+        if frame.flow != self.flow:
+            return
+        if "tcp_ack" in frame.meta:
+            # Not ours: with bidirectional TCP over one association,
+            # the reverse flow's ACK segments share this (src, dst)
+            # tuple with our data segments.
+            return
+        seq = frame.seq
+        is_new = seq >= self._expected and seq not in self._out_of_order
+        if is_new:
+            self.stats.delivered += 1
+        in_order = seq == self._expected
+        if in_order:
+            self._expected += 1
+            while self._expected in self._out_of_order:
+                self._out_of_order.discard(self._expected)
+                self._expected += 1
+        elif seq > self._expected:
+            self._out_of_order.add(seq)
+        if not in_order:
+            # Out-of-order or duplicate: ACK immediately — dup ACKs
+            # are the loss signal the sender's fast retransmit needs.
+            self._send_ack()
+            return
+        self._unacked_in_order += 1
+        if self._unacked_in_order >= 2:
+            self._send_ack()
+        elif self._delayed_ack_timer is None:
+            self._delayed_ack_timer = self.sim.schedule(
+                self.DELAYED_ACK_US, self._delayed_ack_fire)
+
+    def _delayed_ack_fire(self) -> None:
+        self._delayed_ack_timer = None
+        if self._unacked_in_order > 0:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._unacked_in_order = 0
+        if self._delayed_ack_timer is not None:
+            self._delayed_ack_timer.cancel()
+            self._delayed_ack_timer = None
+        ack = data_frame(self.dst, self.src, TCP_ACK_BYTES,
+                         seq=self._next_ack_uid(), enqueued_at=self.sim.now,
+                         flow=self.ack_flow)
+        ack.meta["tcp_ack"] = self._expected
+        self.dst_mac.enqueue(ack)
+
+    _ack_uid = 0
+
+    def _next_ack_uid(self) -> int:
+        TcpFlow._ack_uid += 1
+        return TcpFlow._ack_uid

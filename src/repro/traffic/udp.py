@@ -1,0 +1,108 @@
+"""UDP-style traffic sources: constant bit rate and saturated.
+
+The evaluation's default traffic is 10 Mbps CBR per flow with 512 B
+packets (Sec. 4.2.1); at the 12 Mbps PHY rate that saturates the MAC
+queues quickly, which is what makes queueing delay dominate Fig. 12(b).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from ..sim.engine import Simulator
+from ..sim.packet import data_frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mac.base import Mac
+
+DEFAULT_PAYLOAD_BYTES = 512
+
+
+class CbrSource:
+    """Constant-bit-rate source feeding one MAC queue.
+
+    Parameters
+    ----------
+    rate_mbps:
+        Application rate in Mbps; the packet interval is derived from
+        it.  ``0`` creates a silent source (useful in sweeps).
+    start_us:
+        When the first packet is generated; a random phase within one
+        interval is added so co-started flows do not enqueue in
+        lockstep.
+    """
+
+    def __init__(self, sim: Simulator, mac: "Mac", dst: int,
+                 rate_mbps: float, payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                 start_us: float = 0.0, seed: Optional[int] = None):
+        self.sim = sim
+        self.mac = mac
+        self.src = mac.node.node_id
+        self.dst = dst
+        self.flow: Tuple[int, int] = (self.src, dst)
+        self.rate_mbps = rate_mbps
+        self.payload_bytes = payload_bytes
+        self.start_us = start_us
+        self._seq = itertools.count()
+        self._rng = random.Random(
+            seed if seed is not None else sim.rng.getrandbits(64)
+        )
+        self.generated = 0
+
+    @property
+    def interval_us(self) -> float:
+        if self.rate_mbps <= 0:
+            return float("inf")
+        return self.payload_bytes * 8.0 / self.rate_mbps  # Mbps == bits/us
+
+    def start(self) -> None:
+        if self.rate_mbps <= 0:
+            return
+        phase = self._rng.uniform(0.0, self.interval_us)
+        self.sim.schedule(self.start_us + phase, self._emit)
+
+    def _emit(self) -> None:
+        frame = data_frame(self.src, self.dst, self.payload_bytes,
+                           seq=next(self._seq), enqueued_at=self.sim.now,
+                           flow=self.flow)
+        self.generated += 1
+        self.mac.enqueue(frame)
+        self.sim.schedule(self.interval_us, self._emit)
+
+
+class SaturatedSource:
+    """Keeps a MAC queue permanently backlogged.
+
+    Used for the saturated-throughput experiments (Fig. 2, Table 2,
+    Table 3, Fig. 10): the queue is topped up to capacity periodically,
+    far faster than the MAC can drain it.
+    """
+
+    def __init__(self, sim: Simulator, mac: "Mac", dst: int,
+                 payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                 top_up_interval_us: float = 1_000.0):
+        self.sim = sim
+        self.mac = mac
+        self.src = mac.node.node_id
+        self.dst = dst
+        self.flow: Tuple[int, int] = (self.src, dst)
+        self.payload_bytes = payload_bytes
+        self.top_up_interval_us = top_up_interval_us
+        self._seq = itertools.count()
+        self.generated = 0
+
+    def start(self) -> None:
+        self._top_up()
+
+    def _top_up(self) -> None:
+        queue = self.mac.queues.queue_for(self.dst)
+        while len(queue) < queue.capacity:
+            frame = data_frame(self.src, self.dst, self.payload_bytes,
+                               seq=next(self._seq), enqueued_at=self.sim.now,
+                               flow=self.flow)
+            self.generated += 1
+            if not self.mac.enqueue(frame):
+                break
+        self.sim.schedule(self.top_up_interval_us, self._top_up)

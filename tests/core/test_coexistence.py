@@ -1,0 +1,183 @@
+"""Tests for CFP/CoP coexistence (Sec. 5)."""
+
+import pytest
+
+from repro.core import ControllerConfig, build_domino_network
+from repro.core.coexistence import (CoexistenceConfig, CoexistencePlanner,
+                                    CopOccupancyMeter)
+from repro.mac.dcf import DcfMac
+from repro.metrics.stats import FlowRecorder
+from repro.sim.engine import Simulator
+from repro.topology.builder import fig1_topology
+from repro.topology.links import Link
+from repro.topology.trace import manual_trace
+from repro.traffic.udp import SaturatedSource
+
+
+class TestPlanner:
+    def test_cop_grows_with_external_occupancy(self):
+        planner = CoexistencePlanner(CoexistenceConfig())
+        for _ in range(10):
+            planner.observe_cop_busy_fraction(1.0)
+        busy_cop = planner.next_cop_us(cfp_us=10_000.0)
+        planner2 = CoexistencePlanner(CoexistenceConfig())
+        for _ in range(10):
+            planner2.observe_cop_busy_fraction(0.0)
+        idle_cop = planner2.next_cop_us(cfp_us=10_000.0)
+        assert busy_cop > idle_cop
+        assert idle_cop == planner2.config.min_cop_us
+
+    def test_cop_bounded(self):
+        config = CoexistenceConfig(min_cop_us=500.0, max_cop_us=5_000.0)
+        planner = CoexistencePlanner(config)
+        planner.observe_cop_busy_fraction(1.0)
+        planner.external_occupancy = 1.0
+        assert planner.next_cop_us(cfp_us=1e9) == 5_000.0
+        planner.external_occupancy = 0.0
+        assert planner.next_cop_us(cfp_us=1e9) == 500.0
+
+    def test_smoothing(self):
+        planner = CoexistencePlanner(CoexistenceConfig(smoothing=0.5))
+        planner.observe_cop_busy_fraction(1.0)
+        assert planner.external_occupancy == pytest.approx(0.5)
+        planner.observe_cop_busy_fraction(1.0)
+        assert planner.external_occupancy == pytest.approx(0.75)
+
+    def test_cfp_off_under_light_traffic(self):
+        planner = CoexistencePlanner(CoexistenceConfig(
+            light_traffic_demand=3))
+        assert not planner.cfp_enabled(0)
+        assert not planner.cfp_enabled(3)
+        assert planner.cfp_enabled(4)
+
+    def test_disabled_config(self):
+        planner = CoexistencePlanner(CoexistenceConfig(enabled=False))
+        assert not planner.cfp_enabled(1000)
+
+
+class TestOccupancyMeter:
+    def test_busy_fraction_accounting(self):
+        meter = CopOccupancyMeter()
+        meter.open(0.0, busy_now=False)
+        meter.on_busy(20.0)
+        meter.on_idle(60.0)
+        meter.on_busy(80.0)
+        assert meter.close(100.0) == pytest.approx(0.6)
+
+    def test_opens_busy(self):
+        meter = CopOccupancyMeter()
+        meter.open(0.0, busy_now=True)
+        meter.on_idle(30.0)
+        assert meter.close(100.0) == pytest.approx(0.3)
+
+    def test_unopened_is_zero(self):
+        assert CopOccupancyMeter().close(10.0) == 0.0
+
+    def test_edges_outside_window_ignored(self):
+        meter = CopOccupancyMeter()
+        meter.on_busy(5.0)
+        meter.on_idle(9.0)
+        meter.open(10.0, busy_now=False)
+        assert meter.close(20.0) == 0.0
+
+
+def coexistence_run(horizon_us=600_000.0, seed=1):
+    """Fig. 1 DOMINO network plus one external DCF pair in range."""
+    topology = fig1_topology()
+    # External pair: nodes 6 (sender) / 7 (receiver), audible to all —
+    # grow the RSS matrix before any medium is built.
+    matrix = topology.trace.rss_dbm
+    import numpy as np
+    grown = np.full((8, 8), -120.0)
+    grown[:6, :6] = matrix[:6, :6]
+    for node in range(6):
+        grown[6, node] = grown[node, 6] = -70.0   # external CS-couples all
+        grown[7, node] = grown[node, 7] = -90.0
+    grown[6, 7] = grown[7, 6] = -50.0
+    topology.trace.rss_dbm = grown
+
+    sim = Simulator(seed=seed)
+    config = ControllerConfig(
+        batch_slots=6, demand_cap=6,
+        coexistence=CoexistenceConfig(initial_cop_us=3_000.0,
+                                      min_cop_us=1_500.0,
+                                      max_cop_us=8_000.0),
+    )
+    net = build_domino_network(sim, topology, config=config)
+    # The external pair lives OUTSIDE the DOMINO topology (it is a
+    # foreign network): standalone nodes, attached to the same medium,
+    # running plain DCF.
+    from repro.sim.node import Node, NodeKind
+    ext_nodes = (Node(6, NodeKind.AP), Node(7, NodeKind.CLIENT, ap_id=6))
+    for node in ext_nodes:
+        node.attach(net.medium)
+    ext_tx = DcfMac(sim, ext_nodes[0], net.medium)
+    ext_rx = DcfMac(sim, ext_nodes[1], net.medium)
+    recorder = FlowRecorder(topology.flows + [Link(6, 7)])
+    recorder.attach_all(net.macs.values())
+    recorder.attach(ext_rx)
+    for flow in topology.flows:
+        SaturatedSource(sim, net.macs[flow.src], flow.dst).start()
+    SaturatedSource(sim, ext_tx, 7).start()
+    net.controller.start()
+    sim.run(until=horizon_us)
+    return net, recorder, ext_tx, horizon_us
+
+
+def test_coexistence_shares_airtime():
+    net, recorder, ext_tx, horizon = coexistence_run()
+    external = recorder.flow_throughput_mbps(Link(6, 7), horizon)
+    internal = sum(recorder.flow_throughput_mbps(f, horizon)
+                   for f in [Link(0, 1), Link(3, 2), Link(4, 5)])
+    # The external network gets real service (it would starve to ~0
+    # against back-to-back batches) while DOMINO keeps the majority.
+    assert external > 0.5
+    assert internal > 6.0
+    assert len(net.controller.cop_windows) > 5
+
+
+def test_external_transmissions_mostly_inside_cop():
+    net, recorder, ext_tx, horizon = coexistence_run()
+    windows = net.controller.cop_windows
+    # NAV-stamped DOMINO frames make the external sender defer during
+    # CFPs, so its successes concentrate in CoP windows.  We check the
+    # controller measured nonzero external occupancy of its CoPs.
+    assert net.controller.planner is not None
+    assert net.controller.planner.external_occupancy > 0.1
+
+
+def test_cop_reports_adapt_planner():
+    net, recorder, ext_tx, horizon = coexistence_run()
+    planner = net.controller.planner
+    assert len(planner.history) > 3
+    # A saturated external sender keeps the CoP well above its floor.
+    assert planner.cop_us > planner.config.min_cop_us
+
+
+def test_nav_meta_honoured_by_dcf():
+    """A DCF station overhearing a NAV-stamped frame defers past the
+    frame's own ACK window, to the stamped horizon."""
+    trace = manual_trace(3, {(0, 1): -50.0, (0, 2): -70.0, (2, 1): -120.0})
+    from repro.sim.medium import Medium
+    from repro.sim.node import Network
+    from repro.sim.phy import DOT11G
+    from repro.sim.packet import data_frame
+
+    sim = Simulator(seed=1)
+    network = Network()
+    network.add_ap(0)
+    network.add_client(1, 0)
+    network.add_ap(2)
+    medium = Medium(sim, DOT11G, trace.rss_fn())
+    network.attach_all(medium)
+    listener = DcfMac(sim, network.nodes[2], medium)
+    receiver = DcfMac(sim, network.nodes[1], medium)
+    frame = data_frame(0, 1, 512, 0, 0.0)
+    frame.meta["nav_until"] = 5_000.0
+    network.nodes[0].radio.transmit(frame)
+    # Give the listener traffic; it must hold until the NAV expires.
+    listener.enqueue(data_frame(2, 9, 512, 0, 0.0))
+    sim.run(until=4_900.0)
+    assert listener.stats.data_tx == 0
+    sim.run(until=6_000.0)
+    assert listener.stats.data_tx >= 1  # released once the NAV expired

@@ -1,0 +1,110 @@
+"""Tests for the sample-level signature detector (Fig. 9 substrate)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.correlator import (FIG9_SETUPS, ChannelConfig,
+                                   SignatureDetector, detection_curve,
+                                   run_detection_experiment,
+                                   synthesize_burst)
+from repro.core.signatures import gold_family
+
+RUNS = 60  # keep unit tests fast; the bench runs the full experiment
+
+
+@pytest.fixture(scope="module")
+def family():
+    return gold_family(7)
+
+
+@pytest.fixture(scope="module")
+def detector(family):
+    return SignatureDetector(family)
+
+
+def test_clean_single_signature_detected(family, detector):
+    rng = random.Random(0)
+    config = ChannelConfig()
+    for trial in range(20):
+        burst = synthesize_burst(family, [[5]], config, rng)
+        assert detector.detect(burst, family.code(5))
+
+
+def test_absent_signature_rejected(family, detector):
+    rng = random.Random(1)
+    config = ChannelConfig()
+    false_alarms = sum(
+        detector.detect(synthesize_burst(family, [[5, 9]], config, rng),
+                        family.code(30))
+        for _ in range(60)
+    )
+    assert false_alarms <= 2
+
+
+def test_noise_only_never_detects(family, detector):
+    rng = random.Random(2)
+    noise = np.array([complex(rng.gauss(0, 1), rng.gauss(0, 1))
+                      for _ in range(250)]) * 0.25
+    detections = sum(detector.detect(noise, family.code(i))
+                     for i in range(2, 22))
+    assert detections == 0
+
+
+def test_correlate_finds_delay(family, detector):
+    rng = random.Random(3)
+    config = ChannelConfig(max_delay_chips=4)
+    burst = synthesize_burst(family, [[7]], config, rng)
+    peak, delay = detector.correlate(burst, family.code(7))
+    assert peak > 0.5
+    assert 0 <= delay <= 4
+
+
+@pytest.mark.parametrize("setup", FIG9_SETUPS)
+def test_high_detection_at_four_combined(setup):
+    result = run_detection_experiment(setup, 4, runs=RUNS, seed=9)
+    assert result.detection_ratio >= 0.88
+
+
+@pytest.mark.parametrize("setup", ("1", "2diff", "3diff"))
+def test_detection_degrades_beyond_limit(setup):
+    at4 = run_detection_experiment(setup, 4, runs=RUNS, seed=5)
+    at7 = run_detection_experiment(setup, 7, runs=RUNS, seed=5)
+    assert at7.detection_ratio <= at4.detection_ratio + 0.05
+
+
+def test_same_signature_setups_degrade_fastest():
+    same = run_detection_experiment("3same", 6, runs=RUNS, seed=7)
+    diff = run_detection_experiment("3diff", 6, runs=RUNS, seed=7)
+    assert same.detection_ratio <= diff.detection_ratio + 0.05
+
+
+def test_false_positive_ratio_low():
+    total_fp = 0
+    total_runs = 0
+    for setup in FIG9_SETUPS:
+        result = run_detection_experiment(setup, 4, runs=RUNS, seed=3)
+        total_fp += result.false_positives
+        total_runs += result.runs
+    assert total_fp / total_runs < 0.03  # paper: < 1 % at 1000 runs
+
+
+def test_detection_curve_shape():
+    curve = detection_curve("2diff", max_combined=5, runs=40, seed=1)
+    assert len(curve) == 5
+    assert curve[0].n_combined == 1
+    assert all(r.setup == "2diff" for r in curve)
+
+
+def test_invalid_setup_rejected():
+    with pytest.raises(ValueError):
+        run_detection_experiment("4same", 3, runs=5)
+
+
+def test_burst_is_complex_and_padded(family):
+    rng = random.Random(4)
+    config = ChannelConfig(max_delay_chips=4)
+    burst = synthesize_burst(family, [[2], [3]], config, rng)
+    assert burst.dtype == np.complex128
+    assert len(burst) == family.length + 4 + 80

@@ -1,0 +1,139 @@
+"""Unit tests for the DOMINO MAC's timing and bookkeeping."""
+
+import pytest
+
+from repro.core.domino_mac import DominoMac, SlotTiming
+from repro.core.relative_schedule import NodeProgram, SlotEntry
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.node import Network
+from repro.sim.packet import data_frame
+from repro.sim.phy import DOT11G
+from repro.topology.links import Link
+
+
+def test_slot_timing_layout():
+    timing = SlotTiming.from_profile(DOT11G, payload_bytes=512)
+    data = DOT11G.bytes_airtime_us(540, 12.0)
+    assert timing.data_airtime_us == pytest.approx(data)
+    assert timing.trigger_offset_us == pytest.approx(
+        data + 10.0 + DOT11G.ack_airtime_us() + 9.0)
+    assert timing.slot_duration_us == pytest.approx(
+        timing.trigger_offset_us + 2 * 6.35 + 9.0)
+    assert timing.rop_slot_us > 70.0
+
+
+def build_mac(seed=1):
+    sim = Simulator(seed=seed)
+    network = Network()
+    network.add_ap(0)
+    network.add_client(1, 0)
+    medium = Medium(sim, DOT11G, lambda a, b: -50.0)
+    network.attach_all(medium)
+    mac = DominoMac(sim, network.nodes[0], medium)
+    client = DominoMac(sim, network.nodes[1], medium)
+    return sim, mac, client
+
+
+def test_plan_merge_within_window():
+    """Two nearby time references average (estimation refinement)."""
+    sim, mac, _ = build_mac()
+    mac._send_entries[5] = SlotEntry(link=Link(0, 1))
+    mac._plan_send(5, 1000.0)
+    mac._plan_send(5, 1002.0)
+    assert mac._planned[5].time == pytest.approx(1001.0)
+
+
+def test_plan_replace_beyond_window():
+    """A far-off reference is a different chain: last trigger wins."""
+    sim, mac, _ = build_mac()
+    mac._send_entries[5] = SlotEntry(link=Link(0, 1))
+    mac._plan_send(5, 1000.0)
+    mac._plan_send(5, 1020.0)
+    assert mac._planned[5].time == pytest.approx(1020.0)
+
+
+def test_executed_slot_not_replanned():
+    sim, mac, _ = build_mac()
+    mac._send_entries[5] = SlotEntry(link=Link(0, 1))
+    mac._executed.add(5)
+    mac._plan_send(5, 1000.0)
+    assert 5 not in mac._planned
+
+
+def test_fake_sent_when_queue_empty():
+    sim, mac, client = build_mac()
+    mac._send_entries[0] = SlotEntry(link=Link(0, 1))
+    mac._plan_send(0, 10.0)
+    sim.run(until=2_000.0)
+    assert mac.stats.fake_tx == 1
+    assert mac.stats.data_tx == 0
+
+
+def test_real_data_preferred_over_fake():
+    sim, mac, client = build_mac()
+    delivered = []
+    client.add_delivery_handler(lambda f, t: delivered.append(f))
+    mac.enqueue(data_frame(0, 1, 512, 0, 0.0))
+    mac._send_entries[0] = SlotEntry(link=Link(0, 1), fake=True)
+    mac._plan_send(0, 10.0)
+    sim.run(until=2_000.0)
+    assert mac.stats.data_tx == 1
+    assert mac.stats.fake_tx == 0
+    assert len(delivered) == 1
+    assert mac.stats.successes == 1  # client ACKed
+
+
+def test_missed_ack_requeues_at_head():
+    """Sec. 3.5: the unACKed packet is retransmitted by the next
+    trigger for the same destination."""
+    sim, mac, client = build_mac()
+    client.radio.mac = None  # client deaf: ACK will never come
+    mac.enqueue(data_frame(0, 1, 512, 7, 0.0))
+    mac.enqueue(data_frame(0, 1, 512, 8, 0.0))
+    mac._send_entries[0] = SlotEntry(link=Link(0, 1))
+    mac._plan_send(0, 10.0)
+    sim.run(until=2_000.0)
+    assert mac.stats.ack_timeouts == 1
+    head = mac.queues.queue_for(1).peek()
+    assert head.seq == 7  # retry goes in front of seq 8
+    assert head.retries == 1
+
+
+def test_program_prune_bounds_state():
+    sim, mac, _ = build_mac()
+    for slot in range(500):
+        mac._send_entries[slot] = SlotEntry(link=Link(0, 1))
+        mac._executed.add(slot)
+    program = NodeProgram(node=0, batch_id=40, initial=False,
+                          first_slot_index=500, last_slot_index=511)
+    mac.load_program(program)
+    assert min(mac._send_entries) >= 511 - 200
+    assert min(mac._executed) >= 511 - 200
+
+
+def test_initial_program_self_starts_downlink():
+    sim, mac, client = build_mac()
+    program = NodeProgram(node=0, batch_id=0, initial=True,
+                          first_slot_index=0, last_slot_index=3)
+    program.send_slots[0] = SlotEntry(link=Link(0, 1))
+    mac.load_program(program)
+    sim.run(until=5_000.0)
+    assert 0 in mac._executed
+    assert mac.stats.fake_tx + mac.stats.data_tx == 1
+
+
+def test_poll_resync_replans_next_slot():
+    sim, mac, client = build_mac()
+    # The client has a send entry for slot 8 planned off-time.
+    client._send_entries[8] = SlotEntry(link=Link(1, 0))
+    client._plan_send(8, 3_000.0)
+    from repro.sim.packet import Frame, FrameKind
+    poll = Frame(kind=FrameKind.POLL, src=0, dst=None,
+                 meta={"ap": 0, "slot": 7})
+    mac.radio.transmit(poll)
+    poll_airtime = DOT11G.frame_airtime_us(poll)
+    sim.run(until=poll_airtime + 10.0)  # poll decoded, slot 8 not yet due
+    # Replanned to poll end + slot + symbol + slot (reference broadcast).
+    assert client._planned[8].time == pytest.approx(
+        poll_airtime + 9.0 + 16.0 + 9.0, abs=0.1)

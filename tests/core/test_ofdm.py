@@ -1,0 +1,157 @@
+"""Tests for the ROP control OFDM symbol (Table 1, Fig. 5/6 substrate)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ofdm import (DEFAULT_PARAMS, MAX_QUEUE_REPORT, ClientSignal,
+                             OfdmParams, RopSymbolDecoder, aggregate_at_ap,
+                             bits_to_queue_len, build_client_waveform,
+                             queue_len_to_bits,
+                             rss_difference_tolerance_experiment,
+                             snr_floor_experiment)
+
+
+def test_table1_constants():
+    params = DEFAULT_PARAMS
+    assert params.n_subcarriers == 256
+    assert params.subcarriers_per_subchannel == 6
+    assert params.guard_subcarriers == 3
+    assert params.n_subchannels == 24
+    assert params.cp_us == pytest.approx(3.2)
+    assert params.symbol_us == pytest.approx(16.0)
+    assert params.cp_samples == 64
+    assert params.subcarrier_spacing_khz == pytest.approx(78.125)
+
+
+def test_guard_band_is_39_subcarriers():
+    """Sec. 3.1: 'The remaining 39 subcarriers are used as guard band'."""
+    assert DEFAULT_PARAMS.guard_band_subcarriers() == 39
+
+
+def test_subchannels_disjoint_and_avoid_dc():
+    used = set()
+    for k in range(24):
+        bins = DEFAULT_PARAMS.subchannel_bins(k)
+        assert len(bins) == 6
+        assert 0 not in bins  # DC unused (Fig. 3)
+        assert not (set(bins) & used)
+        used.update(bins)
+    assert len(used) == 144
+
+
+def test_subchannel_halves_mirror():
+    positive = DEFAULT_PARAMS.subchannel_bins(0)
+    negative = DEFAULT_PARAMS.subchannel_bins(12)
+    assert all(b < 128 for b in positive)
+    assert all(b > 128 for b in negative)
+
+
+def test_subchannel_bounds():
+    with pytest.raises(ValueError):
+        DEFAULT_PARAMS.subchannel_bins(24)
+
+
+@given(st.integers(min_value=0, max_value=63))
+def test_property_bits_roundtrip(value):
+    assert bits_to_queue_len(queue_len_to_bits(value)) == value
+
+
+def test_queue_len_clamped():
+    assert bits_to_queue_len(queue_len_to_bits(200)) == MAX_QUEUE_REPORT
+    assert bits_to_queue_len(queue_len_to_bits(-5)) == 0
+
+
+def test_clean_decode_exact():
+    decoder = RopSymbolDecoder()
+    client = ClientSignal(subchannel=5, queue_len=0b110010, amplitude=1.0)
+    received = aggregate_at_ap([client])
+    outcome = decoder.decode_subchannel(received, 5, 1.0, 0b110010)
+    assert outcome.queue_len == 0b110010
+    assert outcome.correct_bits == 6
+
+
+def test_timing_offset_within_cp_is_harmless():
+    decoder = RopSymbolDecoder()
+    for offset in (0, 13, 40, 63):
+        client = ClientSignal(subchannel=2, queue_len=0b101010,
+                              amplitude=1.0, timing_offset_samples=offset)
+        received = aggregate_at_ap([client])
+        assert decoder.decode_subchannel(
+            received, 2, 1.0).queue_len == 0b101010
+
+
+def test_offset_beyond_cp_rejected():
+    client = ClientSignal(subchannel=2, queue_len=1, amplitude=1.0,
+                          timing_offset_samples=64)
+    with pytest.raises(ValueError):
+        aggregate_at_ap([client])
+
+
+def test_many_clients_decode_simultaneously():
+    """The whole point of ROP: 24 queue lengths from one symbol."""
+    rng = random.Random(1)
+    decoder = RopSymbolDecoder()
+    clients = [
+        ClientSignal(subchannel=k, queue_len=rng.randint(0, 63),
+                     amplitude=1.0,
+                     cfo_fraction=rng.uniform(-0.005, 0.005),
+                     timing_offset_samples=rng.randint(0, 32),
+                     phase=rng.uniform(0, 2 * math.pi),
+                     skirt_seed=rng.getrandbits(32))
+        for k in range(24)
+    ]
+    received = aggregate_at_ap(clients)
+    results = decoder.decode_all(received, clients)
+    correct = sum(results[c.subchannel].queue_len == c.queue_len
+                  for c in clients)
+    assert correct >= 23  # equal powers: essentially error-free
+
+
+def test_guard_tolerance_monotone_in_guard_count():
+    ratios = [
+        rss_difference_tolerance_experiment(g, 30.0, runs=40, seed=3)
+        for g in (0, 2, 4)
+    ]
+    assert ratios[0] <= ratios[1] <= ratios[2]
+    assert ratios[2] >= 0.95
+
+
+def test_three_guards_tolerate_30db():
+    assert rss_difference_tolerance_experiment(3, 30.0, runs=40,
+                                               seed=3) >= 0.95
+
+
+def test_no_guards_fail_at_30db():
+    assert rss_difference_tolerance_experiment(0, 30.0, runs=40,
+                                               seed=3) <= 0.5
+
+
+def test_snr_floor_reliable_at_paper_threshold():
+    """Sec. 3.1: reliable decoding above ~4 dB wideband SNR."""
+    assert snr_floor_experiment(4.0, runs=40, seed=1) >= 0.95
+    assert snr_floor_experiment(10.0, runs=40, seed=1) >= 0.95
+
+
+def test_snr_floor_degrades_deep_below():
+    assert snr_floor_experiment(-14.0, runs=40, seed=1) < 0.9
+
+
+def test_adc_clipping_mild_is_survivable():
+    decoder = RopSymbolDecoder()
+    client = ClientSignal(subchannel=4, queue_len=0b011011, amplitude=1.0)
+    waveform = build_client_waveform(client)
+    clip = float(np.max(np.abs(waveform.real))) * 1.5
+    received = aggregate_at_ap([client], adc_clip=clip)
+    assert decoder.decode_subchannel(received, 4, 1.0).queue_len == 0b011011
+
+
+def test_custom_guard_params_shift_bins():
+    wide = OfdmParams(guard_subcarriers=5)
+    assert wide.stride == 11
+    bins0 = wide.subchannel_bins(0)
+    bins1 = wide.subchannel_bins(1)
+    assert min(bins1) - max(bins0) == 6  # 5 guards + 1

@@ -1,0 +1,85 @@
+"""Integration test: an AP with more than 24 clients polls in sets.
+
+Sec. 3.5: "In case the number of clients is more than 24, we could
+divide the clients into different sets ... and then the AP could poll
+once for each set."  The AP must round-robin the sets, each client
+must answer only its own set's polls, and every client's queue length
+must still reach the controller.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ControllerConfig, build_domino_network
+from repro.sim.engine import Simulator
+from repro.sim.node import Network
+from repro.topology.builder import Topology
+from repro.topology.links import Link
+from repro.topology.trace import SyntheticTrace
+from repro.traffic.udp import CbrSource
+
+N_CLIENTS = 30
+
+
+def big_cell_topology():
+    """One AP (0) with 30 clients (1..30), all in clean range."""
+    n = N_CLIENTS + 1
+    matrix = np.full((n, n), -80.0)
+    np.fill_diagonal(matrix, 15.0)
+    for client in range(1, n):
+        matrix[0, client] = matrix[client, 0] = -55.0 - client * 0.1
+    trace = SyntheticTrace(rss_dbm=matrix)
+    network = Network()
+    network.add_ap(0)
+    flows = []
+    for client in range(1, n):
+        network.add_client(client, 0)
+        flows.append(Link(client, 0))  # uplink-only traffic
+    return Topology(network=network, trace=trace, flows=flows,
+                    name="big-cell")
+
+
+def test_poll_sets_cover_all_clients():
+    topology = big_cell_topology()
+    sim = Simulator(seed=1)
+    net = build_domino_network(sim, topology)
+    ap_mac = net.macs[0]
+    assert ap_mac.n_poll_sets == 2  # 30 clients over 24 subchannels
+    # Every client has a subchannel below 24 and a valid set index.
+    sets = {}
+    for client in range(1, N_CLIENTS + 1):
+        mac = net.macs[client]
+        assert 0 <= mac.my_subchannel < 24
+        sets.setdefault(mac.my_poll_set, []).append(client)
+    assert set(sets) == {0, 1}
+    # Within one poll set, subchannels never collide.
+    for members in sets.values():
+        subchannels = [net.macs[c].my_subchannel for c in members]
+        assert len(subchannels) == len(set(subchannels))
+
+
+def test_all_clients_eventually_reported():
+    topology = big_cell_topology()
+    sim = Simulator(seed=1)
+    net = build_domino_network(
+        sim, topology, config=ControllerConfig(batch_slots=6, demand_cap=6))
+    for flow in topology.flows:
+        CbrSource(sim, net.macs[flow.src], flow.dst, 0.3).start()
+    net.controller.start()
+    sim.run(until=500_000.0)
+    ap_mac = net.macs[0]
+    assert ap_mac.stats.polls_sent > 10
+    # Both sets answered: reports decoded from (nearly) every client.
+    known = net.controller.known_queues
+    learned = sum(1 for client in range(1, N_CLIENTS + 1)
+                  if known.get(Link(client, 0), 0.0) > 0.0
+                  or net.macs[client].stats.reports_sent > 0)
+    assert learned >= N_CLIENTS - 2
+    # The two poll sets alternate, so per-set report counts are close.
+    set0 = sum(net.macs[c].stats.reports_sent
+               for c in range(1, N_CLIENTS + 1)
+               if net.macs[c].my_poll_set == 0)
+    set1 = sum(net.macs[c].stats.reports_sent
+               for c in range(1, N_CLIENTS + 1)
+               if net.macs[c].my_poll_set == 1)
+    assert set0 > 0 and set1 > 0

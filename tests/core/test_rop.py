@@ -1,0 +1,113 @@
+"""Tests for the ROP protocol layer (subchannel planning, decoding)."""
+
+import pytest
+
+from repro.core.ofdm import OfdmParams
+from repro.core.rop import (GUARD_TOLERANCE_DB, MIN_REPORT_SNR_DB,
+                            ReportObservation, RopDecoder, SubchannelPlan,
+                            guard_tolerance_db, plan_subchannels,
+                            poll_airtime_us, rop_slot_duration_us)
+from repro.sim.phy import DOT11G
+
+
+def rss_map(values):
+    return lambda client: values[client]
+
+
+class TestPlanning:
+    def test_assignment_sorted_by_rss(self):
+        plan = plan_subchannels([1, 2, 3],
+                                rss_map({1: -70.0, 2: -50.0, 3: -60.0}))
+        assignment = plan.poll_sets[0]
+        # Strongest client gets subchannel 0, then in falling order.
+        assert assignment[2] == 0
+        assert assignment[3] == 1
+        assert assignment[1] == 2
+
+    def test_large_mismatch_gets_spacer(self):
+        """Sec. 3.1: a >tolerance pair must not sit on adjacent
+        subchannels."""
+        plan = plan_subchannels([1, 2],
+                                rss_map({1: -40.0, 2: -90.0}))
+        assignment = plan.poll_sets[0]
+        assert abs(assignment[1] - assignment[2]) >= 2
+
+    def test_more_than_24_clients_split_into_poll_sets(self):
+        clients = list(range(30))
+        plan = plan_subchannels(clients,
+                                rss_map({c: -50.0 - c * 0.1
+                                         for c in clients}))
+        assert plan.n_polls == 2
+        assert sum(len(s) for s in plan.poll_sets) == 30
+        for poll_set in plan.poll_sets:
+            assert len(poll_set) <= 24
+            assert max(poll_set.values()) < 24
+
+    def test_subchannel_of(self):
+        plan = plan_subchannels([5, 6], rss_map({5: -50.0, 6: -55.0}))
+        assert plan.subchannel_of(5) == (0, 0)
+        assert plan.subchannel_of(99) is None
+
+    def test_empty_clients(self):
+        plan = plan_subchannels([], rss_map({}))
+        assert plan.poll_sets == []
+
+
+class TestGuardTolerance:
+    def test_table_monotone(self):
+        values = [guard_tolerance_db(g) for g in range(5)]
+        assert values == sorted(values)
+
+    def test_beyond_table_uses_max(self):
+        assert guard_tolerance_db(9) == GUARD_TOLERANCE_DB[4]
+
+
+class TestDecoder:
+    def make(self):
+        return RopDecoder(noise_dbm=-94.0)
+
+    def test_clean_reports_decode(self):
+        decoder = self.make()
+        obs = [ReportObservation(client=1, subchannel=0, rss_dbm=-60.0,
+                                 queue_len=12),
+               ReportObservation(client=2, subchannel=1, rss_dbm=-62.0,
+                                 queue_len=3)]
+        assert decoder.decode(obs) == {1: 12, 2: 3}
+
+    def test_snr_floor(self):
+        decoder = self.make()
+        weak = ReportObservation(client=1, subchannel=0,
+                                 rss_dbm=-94.0 + MIN_REPORT_SNR_DB - 1.0,
+                                 queue_len=5)
+        assert decoder.decode([weak]) == {1: None}
+
+    def test_loud_neighbour_blocks_weak(self):
+        decoder = self.make()
+        obs = [ReportObservation(client=1, subchannel=0, rss_dbm=-40.0,
+                                 queue_len=9),
+               ReportObservation(client=2, subchannel=1, rss_dbm=-80.0,
+                                 queue_len=7)]
+        result = decoder.decode(obs)
+        assert result[1] == 9      # the loud one is fine
+        assert result[2] is None   # 40 dB mismatch > 3-guard tolerance
+
+    def test_nonadjacent_loud_client_is_harmless(self):
+        decoder = self.make()
+        obs = [ReportObservation(client=1, subchannel=0, rss_dbm=-40.0,
+                                 queue_len=9),
+               ReportObservation(client=2, subchannel=3, rss_dbm=-80.0,
+                                 queue_len=7)]
+        assert decoder.decode(obs)[2] == 7
+
+    def test_report_clamped_to_63(self):
+        decoder = self.make()
+        obs = [ReportObservation(client=1, subchannel=0, rss_dbm=-60.0,
+                                 queue_len=200)]
+        assert decoder.decode(obs)[1] == 63
+
+
+def test_rop_slot_duration_composition():
+    total = rop_slot_duration_us(DOT11G)
+    assert total == pytest.approx(
+        poll_airtime_us(DOT11G) + DOT11G.slot_us + 16.0 + DOT11G.slot_us)
+    assert 70.0 < total < 120.0

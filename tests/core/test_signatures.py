@@ -1,0 +1,125 @@
+"""Tests for Gold-code signature generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import (GoldFamily, SignatureAssigner,
+                                   gold_family, lfsr_m_sequence,
+                                   max_cross_correlation,
+                                   periodic_cross_correlation)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return gold_family(7)
+
+
+def test_family_size_matches_paper(family):
+    """129 codes of length 127; two reserved; 127 assignable."""
+    assert family.family_size == 129
+    assert family.length == 127
+    assert family.assignable == 127
+
+
+def test_codes_are_bipolar(family):
+    for index in (0, 1, 64, 128):
+        code = family.code(index)
+        assert set(np.unique(code)) <= {-1.0, 1.0}
+        assert len(code) == 127
+
+
+def test_codes_are_distinct(family):
+    seen = {tuple(family.code(i)) for i in range(family.family_size)}
+    assert len(seen) == family.family_size
+
+
+def test_autocorrelation_peak(family):
+    code = family.code(10)
+    corr = periodic_cross_correlation(code, code)
+    assert corr[0] == 127
+    assert np.max(np.abs(corr[1:])) <= family.correlation_bound()
+
+
+def test_three_valued_cross_correlation_bound(family):
+    """The preferred-pair property: |cross-corr| <= t(7) = 17."""
+    assert family.correlation_bound() == 17
+    for a, b in ((0, 1), (2, 77), (5, 128), (40, 41), (1, 100)):
+        assert max_cross_correlation(family.code(a), family.code(b)) <= 17
+
+
+def test_cross_correlation_values_are_three_valued(family):
+    values = set(periodic_cross_correlation(family.code(3),
+                                            family.code(9)).tolist())
+    assert values <= {-1, -17, 15}
+
+
+def test_other_degrees_available():
+    for degree, length in ((5, 31), (6, 63), (9, 511)):
+        fam = gold_family(degree)
+        assert fam.length == length
+        assert fam.family_size == length + 2
+        bound = fam.correlation_bound()
+        assert max_cross_correlation(fam.code(0), fam.code(1)) <= bound + 16
+        # (even-degree families are not strictly three-valued; the
+        #  odd-degree ones must meet the bound exactly)
+        if degree % 2 == 1:
+            assert max_cross_correlation(fam.code(0), fam.code(1)) <= bound
+
+
+def test_unknown_degree_rejected():
+    with pytest.raises(ValueError):
+        gold_family(8)
+
+
+def test_lfsr_bad_seed_rejected():
+    with pytest.raises(ValueError):
+        lfsr_m_sequence(7, (7, 3), seed=0)
+    with pytest.raises(ValueError):
+        lfsr_m_sequence(7, (7, 3), seed=1 << 7)
+
+
+def test_lfsr_nonprimitive_taps_rejected():
+    # x^7 + x^1 + ... pick taps known not to be primitive: (7, 2) is
+    # not a primitive trinomial exponent pair for degree 7.
+    with pytest.raises(ValueError):
+        lfsr_m_sequence(7, (7, 2))
+
+
+def test_m_sequence_balance(family):
+    """An m-sequence of length 2^n - 1 has one more 1 than 0."""
+    seq = lfsr_m_sequence(7, (7, 3))
+    assert int(seq.sum()) in (63, 64)
+
+
+def test_reserved_codes(family):
+    assert np.array_equal(family.start_code, family.code(0))
+    assert np.array_equal(family.rop_code, family.code(1))
+    assert np.array_equal(family.node_code(0), family.code(2))
+
+
+def test_node_code_bounds(family):
+    with pytest.raises(IndexError):
+        family.node_code(127)
+    with pytest.raises(IndexError):
+        family.node_code(-1)
+
+
+class TestAssigner:
+    def test_idempotent_assignment(self, family):
+        assigner = SignatureAssigner(family)
+        slot_a = assigner.assign(42)
+        slot_b = assigner.assign(42)
+        assert slot_a == slot_b
+        assert assigner.assign(43) != slot_a
+
+    def test_signature_of_returns_node_code(self, family):
+        assigner = SignatureAssigner(family)
+        sig = assigner.signature_of(10)
+        assert np.array_equal(sig, family.node_code(assigner.assigned[10]))
+
+    def test_domain_capacity(self, family):
+        assigner = SignatureAssigner(family)
+        for node in range(127):
+            assigner.assign(node)
+        with pytest.raises(RuntimeError):
+            assigner.assign(999)

@@ -1,0 +1,82 @@
+"""Tests for the calibrated trigger-detection model."""
+
+import random
+
+import pytest
+
+from repro.core.trigger_model import (DEFAULT_DETECTION_BY_COMBINED,
+                                      WORST_CASE_DETECTION_BY_COMBINED,
+                                      PerfectTriggerModel,
+                                      TriggerDetectionModel,
+                                      calibrate_from_experiment)
+
+
+@pytest.fixture
+def model():
+    return TriggerDetectionModel()
+
+
+def test_combining_probability_monotone(model):
+    probs = [model.combining_probability(n) for n in range(1, 8)]
+    assert all(a >= b - 1e-9 for a, b in zip(probs, probs[1:]))
+    assert probs[3] >= 0.94  # ~100 % at the outbound cap of 4
+
+
+def test_extrapolation_beyond_table(model):
+    p8 = model.combining_probability(8)
+    p9 = model.combining_probability(9)
+    assert p8 < model.combining_probability(7)
+    assert p9 < p8
+
+
+def test_zero_or_negative_combined(model):
+    assert model.combining_probability(0) == 0.0
+    assert model.p_detect(10.0, 0) == model.p_detect(10.0, 1)  # clamped
+
+
+def test_sinr_ramp(model):
+    assert model.sinr_factor(model.min_sinr_db - 1.0) == 0.0
+    assert model.sinr_factor(model.min_sinr_db + model.ramp_db) == 1.0
+    mid = model.sinr_factor(model.min_sinr_db + model.ramp_db / 2)
+    assert 0.4 < mid < 0.6
+
+
+def test_p_detect_combines_factors(model):
+    strong = model.p_detect(20.0, 2)
+    weak_sinr = model.p_detect(model.min_sinr_db + 1.0, 2)
+    assert strong > weak_sinr > 0.0
+
+
+def test_sample_detect_statistics(model):
+    rng = random.Random(0)
+    hits = sum(model.sample_detect(rng, 20.0, 4) for _ in range(2000))
+    assert hits / 2000 == pytest.approx(model.p_detect(20.0, 4), abs=0.03)
+
+
+def test_jitter_symmetric_and_bounded(model):
+    rng = random.Random(1)
+    samples = [model.sample_jitter_us(rng) for _ in range(2000)]
+    half = model.jitter_max_us / 2.0
+    assert all(-half <= s <= half for s in samples)
+    assert abs(sum(samples) / len(samples)) < 0.1
+
+
+def test_perfect_model():
+    perfect = PerfectTriggerModel()
+    assert perfect.p_detect(0.0, 7) == 1.0
+    assert perfect.p_detect(-50.0, 1) == 0.0
+
+
+def test_worst_case_table_is_weaker():
+    for n in range(4, 8):
+        assert WORST_CASE_DETECTION_BY_COMBINED[n] <= \
+            DEFAULT_DETECTION_BY_COMBINED[n]
+
+
+def test_calibrate_from_experiment_structure():
+    model = calibrate_from_experiment(runs=20, seed=1, max_combined=4)
+    assert set(model.detection_by_combined) == {1, 2, 3, 4}
+    assert all(0.0 <= v <= 1.0
+               for v in model.detection_by_combined.values())
+    # Low combining counts must calibrate high even at tiny run counts.
+    assert model.detection_by_combined[1] >= 0.9

@@ -1,0 +1,155 @@
+"""Smoke tests for every experiment runner (tiny horizons).
+
+The benches under ``benchmarks/`` run each experiment at meaningful
+scale and assert the paper's shape; these tests only pin the runner
+APIs and report formatting.
+"""
+
+import pytest
+
+from repro.experiments import (fig02_motivation, fig05_fig06_rop,
+                               fig09_signatures, fig10_microscope,
+                               fig11_misalignment, fig12_t10_2,
+                               fig14_random, sec5_polling, tab02_usrp,
+                               tab03_exposed)
+from repro.experiments.common import format_table, run_scheme
+from repro.topology.builder import fig1_topology
+
+
+def test_run_scheme_rejects_unknown():
+    with pytest.raises(ValueError):
+        run_scheme("aloha", fig1_topology())
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+
+def test_fig02(tmp_path):
+    result = fig02_motivation.run(horizon_us=120_000.0)
+    assert set(result.overall_mbps) == set(fig02_motivation.SCHEMES)
+    text = fig02_motivation.report(result)
+    assert "omniscient / dcf" in text
+
+
+def test_fig05_fig06():
+    panels = fig05_fig06_rop.run_fig5()
+    assert len(panels) == 3
+    assert panels[0].weak_correct          # equal power decodes
+    assert not panels[1].weak_correct      # 30 dB no guards corrupts
+    assert panels[2].weak_correct          # 3 guards fix it
+    fig6 = fig05_fig06_rop.run_fig6(runs=10)
+    assert set(fig6.curves) == set(fig05_fig06_rop.GUARD_COUNTS)
+    assert "3-guard tolerance" in fig05_fig06_rop.report(panels, fig6)
+
+
+def test_fig09():
+    result = fig09_signatures.run(runs=20)
+    assert result.detection("1", 1) >= 0.9
+    assert "false-positive" in fig09_signatures.report(result)
+
+
+def test_tab02():
+    result = tab02_usrp.run(horizon_us=15_000_000.0)
+    assert result.kbps["DOMINO"]["ET"] > 0
+    assert "DOMINO/DCF" in tab02_usrp.report(result)
+
+
+def test_fig10():
+    result = fig10_microscope.run(horizon_us=60_000.0)
+    text = fig10_microscope.report(result)
+    assert "AP1->C1" in text
+    assert result.trigger_detections > 0
+
+
+def test_fig11_structure():
+    result = fig11_misalignment.run(horizon_us=15_000.0)
+    assert set(result.series) == set(fig11_misalignment.VARIANCES_US2)
+    for series in result.series.values():
+        assert len(series) == fig11_misalignment.N_SLOTS
+
+
+def test_fig12_single_point():
+    result = fig12_t10_2.run("udp", uplink_rates=(0.0,),
+                             horizon_us=150_000.0)
+    assert len(result.points) == 1
+    assert result.gain_over_dcf(0.0) > 0
+    assert "DOMINO/DCF gain" in fig12_t10_2.report(result)
+    with pytest.raises(KeyError):
+        result.gain_over_dcf(99.0)
+
+
+def test_fig12_rejects_bad_transport():
+    with pytest.raises(ValueError):
+        fig12_t10_2.run("sctp")
+
+
+def test_tab03():
+    result = tab03_exposed.run(horizon_us=150_000.0)
+    assert set(result.mbps) == {"fig13a", "fig13b"}
+    assert "CENTAUR below DCF" in tab03_exposed.report(result)
+
+
+def test_fig14_small():
+    result = fig14_random.run(n_runs=2, horizon_us=120_000.0)
+    assert len(result.gains) == 2
+    assert result.median > 0
+    assert "median" in fig14_random.report(result)
+
+
+def test_fig14_cdf_monotone():
+    result = fig14_random.Fig14Result(gains=[1.5, 1.2, 1.9])
+    cdf = result.cdf()
+    assert [g for g, _ in cdf] == [1.2, 1.5, 1.9]
+    assert [p for _, p in cdf] == pytest.approx([1 / 3, 2 / 3, 1.0])
+    assert result.median == 1.5
+
+
+def test_sec5_batch_size_structure():
+    result = sec5_polling.run_batch_size(5.0, batch_sizes=(4, 8),
+                                         horizon_us=150_000.0)
+    assert len(result.points) == 2
+    assert result.points[0].batch_slots == 4
+    assert result.delay_trend() > 0
+
+
+def test_sec5_light_traffic_structure():
+    result = sec5_polling.run_light_traffic(horizon_us=300_000.0)
+    assert result.domino_mbps > 0
+    assert result.dcf_mbps > 0
+    assert "ratio" in sec5_polling.report_light(result)
+
+
+def test_sec5_extensions_signature_rows():
+    from repro.experiments import sec5_extensions
+    rows = sec5_extensions.run_signature_lengths()
+    assert [r.length for r in rows] == [31, 63, 127, 511]
+    assert "trade-off" in sec5_extensions.report_signature_lengths(rows)
+
+
+def test_sec5_extensions_energy_structure():
+    from repro.experiments import sec5_extensions
+    result = sec5_extensions.run_energy(horizon_us=200_000.0)
+    assert 0.0 <= result.sleep_fraction <= 1.0
+    assert "asleep" in sec5_extensions.report_energy(result)
+
+
+def test_sec5_extensions_coexistence_structure():
+    from repro.experiments import sec5_extensions
+    result = sec5_extensions.run_coexistence(horizon_us=200_000.0)
+    assert result.internal_mbps >= 0
+    assert "contention period" in sec5_extensions.report_coexistence(result)
+
+
+def test_main_driver_section_list():
+    from repro.experiments.__main__ import build_sections
+    sections = build_sections(quick=True)
+    titles = [title for title, _ in sections]
+    assert len(sections) == 12
+    assert any("Fig. 2" in t for t in titles)
+    assert any("Fig. 14" in t for t in titles)
+    assert any("extensions" in t for t in titles)
+    assert all(callable(runner) for _, runner in sections)

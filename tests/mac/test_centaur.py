@@ -1,0 +1,107 @@
+"""Behavioural tests for the CENTAUR baseline."""
+
+import pytest
+
+from repro.mac.centaur import CentaurApMac, build_centaur_network
+from repro.metrics.stats import FlowRecorder
+from repro.sim.engine import Simulator
+from repro.topology.builder import (fig7_topology, fig13a_topology,
+                                    fig13b_topology)
+from repro.topology.links import Link
+from repro.traffic.udp import SaturatedSource
+
+HORIZON = 400_000.0
+
+
+def run_centaur(topology, horizon=HORIZON, seed=1, epoch_packets=5):
+    sim = Simulator(seed=seed)
+    medium, macs, controller = build_centaur_network(
+        sim, topology, epoch_packets=epoch_packets)
+    recorder = FlowRecorder(topology.flows, warmup_us=horizon * 0.1)
+    recorder.attach_all(macs.values())
+    for flow in topology.flows:
+        SaturatedSource(sim, macs[flow.src], flow.dst).start()
+    controller.start()
+    sim.run(until=horizon)
+    return sim, macs, controller, recorder
+
+
+def test_conflicting_downlinks_have_no_ack_timeouts():
+    """Sec. 4.2.3: CENTAUR schedules conflicting downlinks apart, so
+    (unlike DCF) it sees essentially zero ACK timeouts."""
+    sim, macs, controller, recorder = run_centaur(fig7_topology())
+    timeouts = sum(m.stats.ack_timeouts for m in macs.values())
+    assert timeouts == 0
+    assert recorder.aggregate_throughput_mbps(HORIZON) > 10.0
+
+
+def test_epochs_form_batch_barrier():
+    """No epoch is dispatched before the previous one completed."""
+    sim, macs, controller, recorder = run_centaur(fig13a_topology())
+    epochs = controller.epochs
+    assert len(epochs) > 10
+    for prev, nxt in zip(epochs, epochs[1:]):
+        assert prev.completed_at is not None
+        assert nxt.dispatched_at >= prev.completed_at
+
+
+def test_aligned_exposure_beats_serialization():
+    """Fig. 13a: aligned exposed links give CENTAUR a big win over
+    one serialized channel (~8 Mbps)."""
+    _, _, _, recorder = run_centaur(fig13a_topology())
+    assert recorder.aggregate_throughput_mbps(HORIZON) > 16.0
+
+
+def test_misaligned_exposure_pathology():
+    """Fig. 13b / Table 3: CENTAUR falls below its own 13a result when
+    the senders cannot align."""
+    a = run_centaur(fig13a_topology())[3].aggregate_throughput_mbps(HORIZON)
+    b = run_centaur(fig13b_topology())[3].aggregate_throughput_mbps(HORIZON)
+    assert b < a
+
+
+def test_grants_gate_transmissions():
+    """An AP with a backlog but no grant must stay silent."""
+    topology = fig13a_topology()
+    sim = Simulator(seed=1)
+    medium = topology.build_medium(sim)
+    mac = CentaurApMac(sim, topology.network.nodes[0], medium)
+    from repro.mac.dcf import DcfMac
+    client = DcfMac(sim, topology.network.nodes[1], medium)  # ACKs back
+    from repro.sim.packet import data_frame
+    for seq in range(5):
+        mac.enqueue(data_frame(0, 1, 512, seq, 0.0))
+    sim.run(until=50_000.0)
+    assert mac.stats.data_tx == 0
+    mac.grant(1, {1: 3})
+    sim.run(until=100_000.0)
+    assert mac.stats.data_tx == 3  # exactly the granted credits
+    assert mac.stats.successes == 3
+
+
+def test_done_reported_when_grant_exhausted():
+    topology = fig13a_topology()
+    sim = Simulator(seed=1)
+    medium = topology.build_medium(sim)
+    mac = CentaurApMac(sim, topology.network.nodes[0], medium)
+    reports = []
+    mac.send_to_controller = reports.append
+    from repro.sim.packet import data_frame
+    mac.enqueue(data_frame(0, 1, 512, 0, 0.0))
+    mac.grant(7, {1: 1})
+    sim.run(until=50_000.0)
+    assert reports == [{"type": "epoch_done", "ap": 0, "grant": 7}]
+
+
+def test_done_reported_for_empty_queue_grant():
+    """A grant the AP cannot use (queue empty) is reported done
+    immediately — the barrier must not deadlock."""
+    topology = fig13a_topology()
+    sim = Simulator(seed=1)
+    medium = topology.build_medium(sim)
+    mac = CentaurApMac(sim, topology.network.nodes[0], medium)
+    reports = []
+    mac.send_to_controller = reports.append
+    mac.grant(3, {1: 4})
+    sim.run(until=10_000.0)
+    assert any(r["grant"] == 3 for r in reports)

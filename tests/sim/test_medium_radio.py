@@ -1,0 +1,217 @@
+"""Integration tests for the medium + radio reception model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.packet import Frame, FrameKind, data_frame
+from repro.sim.phy import DOT11G, PhyProfile
+from repro.sim.radio import Radio
+
+
+class RecordingMac:
+    """Minimal MAC stub recording every radio callback."""
+
+    def __init__(self):
+        self.received = []
+        self.failed = []
+        self.triggers = []
+        self.reports = []
+        self.busy_edges = 0
+        self.idle_edges = 0
+        self.tx_done = []
+
+    def on_receive(self, frame, rss_dbm):
+        self.received.append((frame, rss_dbm))
+
+    def on_receive_failed(self, frame, rss_dbm):
+        self.failed.append((frame, rss_dbm))
+
+    def on_trigger(self, frame, sinr_db, rss_dbm, overlapping):
+        self.triggers.append((frame, sinr_db, overlapping))
+
+    def on_queue_report(self, frame, rss_dbm):
+        self.reports.append((frame, rss_dbm))
+
+    def on_channel_busy(self):
+        self.busy_edges += 1
+
+    def on_channel_idle(self):
+        self.idle_edges += 1
+
+    def on_tx_end(self, frame):
+        self.tx_done.append(frame)
+
+
+def build(rss_pairs, n_nodes=3, profile=DOT11G):
+    """Medium with explicit pairwise RSS (default: unreachable)."""
+    sim = Simulator(seed=1)
+
+    def rss(tx, rx):
+        return rss_pairs.get((tx, rx), rss_pairs.get((rx, tx), -200.0))
+
+    medium = Medium(sim, profile, rss)
+    radios = {}
+    macs = {}
+    for node in range(n_nodes):
+        radio = Radio(node, medium)
+        mac = RecordingMac()
+        radio.mac = mac
+        radios[node] = radio
+        macs[node] = mac
+    return sim, medium, radios, macs
+
+
+def test_clean_reception_succeeds():
+    sim, medium, radios, macs = build({(0, 1): -50.0})
+    frame = data_frame(0, 1, 512, 0, 0.0)
+    radios[0].transmit(frame)
+    sim.run(until=1_000.0)
+    assert [f for f, _ in macs[1].received] == [frame]
+    assert macs[1].failed == []
+    assert macs[0].tx_done == [frame]
+
+
+def test_below_sensitivity_not_locked():
+    sim, medium, radios, macs = build({(0, 1): -92.0})  # < -88 sensitivity
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.run(until=1_000.0)
+    assert macs[1].received == []
+    assert macs[1].failed == []
+
+
+def test_collision_destroys_comparable_frames():
+    # Both senders at similar power at the receiver: neither decodes.
+    sim, medium, radios, macs = build({(0, 2): -60.0, (1, 2): -58.0})
+    radios[0].transmit(data_frame(0, 2, 512, 0, 0.0))
+    radios[1].transmit(data_frame(1, 2, 512, 0, 0.0))
+    sim.run(until=1_000.0)
+    assert macs[2].received == []
+    assert len(macs[2].failed) == 1  # the locked one reports failure
+
+
+def test_strong_interferer_mid_frame_kills_reception():
+    sim, medium, radios, macs = build({(0, 1): -60.0, (2, 1): -55.0})
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    # Interferer starts mid-frame (hidden terminal behaviour).
+    sim.schedule(100.0, radios[2].transmit, data_frame(2, 0, 512, 1, 0.0))
+    sim.run(until=2_000.0)
+    assert macs[1].received == []
+    assert len(macs[1].failed) == 1
+
+
+def test_weak_interferer_is_survived():
+    sim, medium, radios, macs = build({(0, 1): -50.0, (2, 1): -75.0})
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.schedule(50.0, radios[2].transmit, data_frame(2, 0, 512, 1, 0.0))
+    sim.run(until=2_000.0)
+    assert len(macs[1].received) == 1
+
+
+def test_preamble_capture_steals_lock():
+    import dataclasses
+    profile = dataclasses.replace(DOT11G, capture_margin_db=10.0)
+    sim, medium, radios, macs = build(
+        {(0, 2): -70.0, (1, 2): -50.0}, profile=profile)
+    radios[0].transmit(data_frame(0, 2, 512, 0, 0.0))
+    # Much stronger frame arrives within the first frame's preamble.
+    sim.schedule(5.0, radios[1].transmit, data_frame(1, 2, 512, 1, 0.0))
+    sim.run(until=2_000.0)
+    received = [f.src for f, _ in macs[2].received]
+    assert received == [1]
+
+
+def test_half_duplex_transmitter_hears_nothing():
+    sim, medium, radios, macs = build({(0, 1): -50.0, (1, 0): -50.0})
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.schedule(10.0, radios[1].transmit, data_frame(1, 0, 512, 1, 0.0))
+    sim.run(until=2_000.0)
+    # Node 1 was transmitting while node 0's frame was on air -> lost.
+    assert macs[1].received == []
+
+
+def test_carrier_sense_edges():
+    sim, medium, radios, macs = build({(0, 1): -70.0})  # above CS -82
+    radios[0].transmit(data_frame(0, 9, 512, 0, 0.0))
+    sim.run(until=2_000.0)
+    assert macs[1].busy_edges == 1
+    assert macs[1].idle_edges == 1
+    assert not radios[1].channel_busy()
+
+
+def test_energy_below_cs_threshold_not_busy():
+    sim, medium, radios, macs = build({(0, 1): -86.0})  # < -82 CS
+    radios[0].transmit(data_frame(0, 9, 512, 0, 0.0))
+    sim.run(until=2_000.0)
+    assert macs[1].busy_edges == 0
+
+
+def test_trigger_detected_through_data_collision():
+    # A trigger frame 20 dB below a data frame still reaches the MAC
+    # with its SINR (correlation gain is applied by the model layer).
+    sim, medium, radios, macs = build({(0, 1): -50.0, (2, 1): -70.0})
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    trigger = Frame(kind=FrameKind.TRIGGER, src=2, dst=None,
+                    meta={"targets": frozenset({1}), "slot": 0})
+    sim.schedule(50.0, radios[2].transmit, trigger)
+    sim.run(until=2_000.0)
+    assert len(macs[1].triggers) == 1
+    _, sinr, _ = macs[1].triggers[0]
+    assert sinr == pytest.approx(-20.0, abs=1.0)
+    # The data frame still decodes (trigger is 20 dB down).
+    assert len(macs[1].received) == 1
+
+
+def test_overlapping_signature_count():
+    sim, medium, radios, macs = build(
+        {(0, 2): -60.0, (1, 2): -62.0}, n_nodes=3)
+    t1 = Frame(kind=FrameKind.TRIGGER, src=0, dst=None,
+               meta={"targets": frozenset({5, 6}), "slot": 0})
+    t2 = Frame(kind=FrameKind.TRIGGER, src=1, dst=None,
+               meta={"targets": frozenset({7, 8, 9}), "slot": 0})
+    radios[0].transmit(t1)
+    radios[1].transmit(t2)
+    sim.run(until=100.0)
+    assert len(macs[2].triggers) == 2
+    counts = {f.src: overlap for f, _, overlap in macs[2].triggers}
+    assert counts[0] == 5  # 2 + 3 comparable-power signatures
+    assert counts[1] == 5
+
+
+def test_far_weaker_trigger_not_counted_in_overlap():
+    sim, medium, radios, macs = build(
+        {(0, 2): -50.0, (1, 2): -75.0}, n_nodes=3)  # 25 dB apart
+    t1 = Frame(kind=FrameKind.TRIGGER, src=0, dst=None,
+               meta={"targets": frozenset({5}), "slot": 0})
+    t2 = Frame(kind=FrameKind.TRIGGER, src=1, dst=None,
+               meta={"targets": frozenset({6}), "slot": 0})
+    radios[0].transmit(t1)
+    radios[1].transmit(t2)
+    sim.run(until=100.0)
+    counts = {f.src: overlap for f, _, overlap in macs[2].triggers}
+    assert counts[0] == 1  # the weak one is negligible to the strong
+    assert counts[1] == 2  # the strong one dominates the weak
+
+
+def test_queue_reports_delivered_concurrently():
+    sim, medium, radios, macs = build(
+        {(0, 2): -50.0, (1, 2): -55.0}, n_nodes=3)
+    for src, sub in ((0, 0), (1, 1)):
+        report = Frame(kind=FrameKind.QUEUE_REPORT, src=src, dst=2,
+                       meta={"queue_len": 5, "subchannel": sub})
+        radios[src].transmit(report)
+    sim.run(until=100.0)
+    assert len(macs[2].reports) == 2
+
+
+def test_transmit_while_transmitting_raises():
+    sim, medium, radios, macs = build({(0, 1): -50.0})
+    radios[0].transmit(data_frame(0, 1, 512, 0, 0.0))
+    with pytest.raises(RuntimeError):
+        radios[0].transmit(data_frame(0, 1, 512, 1, 0.0))
+
+
+def test_duplicate_radio_registration_rejected():
+    sim, medium, radios, macs = build({})
+    with pytest.raises(ValueError):
+        Radio(0, medium)

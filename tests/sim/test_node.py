@@ -1,0 +1,77 @@
+"""Tests for nodes and the network container."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.node import Network, Node, NodeKind
+from repro.sim.phy import DOT11G
+
+
+def test_network_construction():
+    network = Network()
+    ap = network.add_ap(0)
+    client = network.add_client(1, 0)
+    assert ap.is_ap and not client.is_ap
+    assert client.ap_id == 0
+    assert len(network) == 2
+    assert [n.node_id for n in network] == [0, 1]
+
+
+def test_duplicate_id_rejected():
+    network = Network()
+    network.add_ap(0)
+    with pytest.raises(ValueError):
+        network.add_ap(0)
+
+
+def test_client_requires_existing_ap():
+    network = Network()
+    with pytest.raises(ValueError):
+        network.add_client(1, 0)
+    network.add_ap(0)
+    network.add_client(1, 0)
+    with pytest.raises(ValueError):
+        network.add_client(2, 1)  # node 1 is a client, not an AP
+
+
+def test_clients_of_and_ap_of():
+    network = Network()
+    network.add_ap(0)
+    network.add_ap(10)
+    network.add_client(1, 0)
+    network.add_client(2, 0)
+    network.add_client(11, 10)
+    assert {c.node_id for c in network.clients_of(0)} == {1, 2}
+    assert network.ap_of(1) == 0
+    assert network.ap_of(11) == 10
+    assert network.ap_of(0) == 0  # an AP governs itself
+
+
+def test_aps_and_clients_views():
+    network = Network()
+    network.add_ap(0)
+    network.add_client(1, 0)
+    assert [n.node_id for n in network.aps] == [0]
+    assert [n.node_id for n in network.clients] == [1]
+
+
+def test_attach_creates_radio_and_reattach_resets():
+    network = Network()
+    network.add_ap(0)
+    sim = Simulator()
+    medium_a = Medium(sim, DOT11G, lambda a, b: -50.0)
+    radio_a = network.nodes[0].attach(medium_a)
+    assert network.nodes[0].radio is radio_a
+    # A fresh run re-attaches without complaint and drops stale MACs.
+    sim_b = Simulator()
+    medium_b = Medium(sim_b, DOT11G, lambda a, b: -50.0)
+    radio_b = network.nodes[0].attach(medium_b)
+    assert radio_b is not radio_a
+    assert network.nodes[0].mac is None
+
+
+def test_bind_mac_requires_radio():
+    node = Node(0, NodeKind.AP)
+    with pytest.raises(RuntimeError):
+        node.bind_mac(object())

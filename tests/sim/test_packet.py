@@ -1,0 +1,58 @@
+"""Unit tests for frames."""
+
+from repro.sim.packet import (ACK_BYTES, MAC_HEADER_BYTES, POLL_BYTES, Frame,
+                              FrameKind, ack_frame, data_frame, fake_frame)
+
+
+def test_data_frame_bytes_include_header():
+    frame = data_frame(1, 2, payload_bytes=512, seq=7, enqueued_at=3.0)
+    assert frame.mac_bytes() == 512 + MAC_HEADER_BYTES
+    assert frame.flow == (1, 2)
+    assert frame.seq == 7
+    assert frame.enqueued_at == 3.0
+    assert not frame.is_broadcast
+
+
+def test_control_frame_sizes():
+    assert ack_frame(2, 1, 0).mac_bytes() == ACK_BYTES
+    assert Frame(kind=FrameKind.POLL, src=1, dst=None).mac_bytes() == POLL_BYTES
+    assert fake_frame(1, 2, 0).mac_bytes() == MAC_HEADER_BYTES
+
+
+def test_trigger_and_report_have_no_rate_bytes():
+    trigger = Frame(kind=FrameKind.TRIGGER, src=1, dst=None)
+    report = Frame(kind=FrameKind.QUEUE_REPORT, src=1, dst=2)
+    assert trigger.mac_bytes() == 0
+    assert report.mac_bytes() == 0
+    assert trigger.is_broadcast
+
+
+def test_frame_uids_are_unique():
+    frames = [data_frame(1, 2, 10, i, 0.0) for i in range(100)]
+    assert len({f.uid for f in frames}) == 100
+
+
+def test_trigger_targets_default_empty():
+    trigger = Frame(kind=FrameKind.TRIGGER, src=1, dst=None)
+    assert trigger.trigger_targets() == frozenset()
+    trigger.meta["targets"] = frozenset({4, 5})
+    assert trigger.trigger_targets() == frozenset({4, 5})
+
+
+def test_clone_for_retry_preserves_identity_but_not_uid():
+    frame = data_frame(1, 2, 512, seq=9, enqueued_at=4.5)
+    frame.meta["slot"] = 12
+    clone = frame.clone_for_retry()
+    assert clone.uid != frame.uid
+    assert clone.seq == frame.seq
+    assert clone.enqueued_at == frame.enqueued_at
+    assert clone.retries == frame.retries + 1
+    assert clone.meta == frame.meta
+    assert clone.meta is not frame.meta  # independent copy
+
+
+def test_fake_frame_marks_itself():
+    fake = fake_frame(3, 4, slot=17)
+    assert fake.kind is FrameKind.FAKE
+    assert fake.meta["slot"] == 17
+    assert fake.meta["fake"] is True

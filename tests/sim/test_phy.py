@@ -1,0 +1,111 @@
+"""Unit tests for PHY profiles, airtimes and reception thresholds."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.packet import (ACK_BYTES, MAC_HEADER_BYTES, Frame, FrameKind,
+                              ack_frame, data_frame)
+from repro.sim.phy import (DOT11G, MAX_NODES_PER_DOMAIN,
+                           SIGNATURE_CORRELATION_GAIN_DB, SIGNATURE_US, USRP,
+                           dbm_to_mw, mw_to_dbm, profile_by_name)
+
+
+def test_dot11g_timing_constants():
+    assert DOT11G.slot_us == 9.0
+    assert DOT11G.sifs_us == 10.0
+    assert DOT11G.difs_us == 28.0  # SIFS + 2 slots
+    assert DOT11G.data_rate_mbps == 12.0  # paper Sec. 4.2.1
+
+
+def test_signature_constants_match_paper():
+    # 127 chips at 20 MHz BPSK = 6.35 us (Sec. 3.2).
+    assert SIGNATURE_US == pytest.approx(6.35)
+    # 129 Gold codes minus START and ROP = 127 nodes per domain.
+    assert MAX_NODES_PER_DOMAIN == 127
+    assert SIGNATURE_CORRELATION_GAIN_DB == pytest.approx(
+        10 * math.log10(127))
+
+
+def test_data_frame_airtime():
+    frame = data_frame(1, 2, payload_bytes=512, seq=0, enqueued_at=0.0)
+    airtime = DOT11G.frame_airtime_us(frame)
+    expected = 20.0 + (512 + MAC_HEADER_BYTES) * 8 / 12.0
+    assert airtime == pytest.approx(expected)
+
+
+def test_ack_airtime_uses_basic_rate():
+    ack = ack_frame(1, 2, seq=0)
+    assert DOT11G.frame_airtime_us(ack) == pytest.approx(
+        20.0 + ACK_BYTES * 8 / 6.0)
+    assert DOT11G.ack_airtime_us() == DOT11G.frame_airtime_us(ack)
+
+
+def test_trigger_airtime_is_two_signatures():
+    trigger = Frame(kind=FrameKind.TRIGGER, src=1, dst=None)
+    assert DOT11G.frame_airtime_us(trigger) == pytest.approx(2 * SIGNATURE_US)
+
+
+def test_queue_report_airtime_is_rop_symbol():
+    report = Frame(kind=FrameKind.QUEUE_REPORT, src=1, dst=2)
+    assert DOT11G.frame_airtime_us(report) == pytest.approx(16.0)
+
+
+def test_fake_frame_is_header_only_and_shorter():
+    from repro.sim.packet import fake_frame
+    fake = fake_frame(1, 2, slot=0)
+    data = data_frame(1, 2, payload_bytes=512, seq=0, enqueued_at=0.0)
+    assert DOT11G.frame_airtime_us(fake) < DOT11G.frame_airtime_us(data) / 4
+
+
+def test_sinr_threshold_lookup_and_fallback():
+    assert DOT11G.sinr_threshold_db(12.0) == 8.0
+    # Unknown rate falls back to the nearest configured at/above.
+    assert DOT11G.sinr_threshold_db(10.0) == 8.0
+    assert DOT11G.sinr_threshold_db(100.0) == max(
+        DOT11G.sinr_thresholds_db.values())
+
+
+def test_trigger_threshold_gets_correlation_gain():
+    trigger = Frame(kind=FrameKind.TRIGGER, src=1, dst=None)
+    data = data_frame(1, 2, 512, 0, 0.0)
+    assert DOT11G.frame_sinr_threshold_db(trigger) < \
+        DOT11G.frame_sinr_threshold_db(data) - 15.0
+
+
+def test_ack_timeout_covers_sifs_plus_ack():
+    assert DOT11G.ack_timeout_us() > DOT11G.sifs_us + DOT11G.ack_airtime_us()
+
+
+def test_usrp_profile_is_slow():
+    frame = data_frame(1, 2, 512, 0, 0.0)
+    assert USRP.frame_airtime_us(frame) > 100 * DOT11G.frame_airtime_us(frame)
+
+
+def test_profile_by_name():
+    assert profile_by_name("802.11g") is DOT11G
+    assert profile_by_name("usrp-gnuradio") is USRP
+    with pytest.raises(KeyError):
+        profile_by_name("nonexistent")
+
+
+def test_dbm_mw_known_values():
+    assert dbm_to_mw(0.0) == pytest.approx(1.0)
+    assert dbm_to_mw(10.0) == pytest.approx(10.0)
+    assert mw_to_dbm(1.0) == pytest.approx(0.0)
+    assert mw_to_dbm(0.0) == -200.0  # floor sentinel
+
+
+@given(st.floats(min_value=-150.0, max_value=50.0))
+def test_property_dbm_mw_roundtrip(dbm):
+    assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=4096),
+       st.sampled_from([6.0, 12.0, 24.0, 54.0]))
+def test_property_airtime_monotone_in_size(nbytes, rate):
+    smaller = DOT11G.bytes_airtime_us(nbytes, rate)
+    larger = DOT11G.bytes_airtime_us(nbytes + 1, rate)
+    assert larger > smaller
+    assert smaller > DOT11G.preamble_us

@@ -1,0 +1,89 @@
+"""Tests for the radio power-save path (Sec. 5 energy saving)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.packet import data_frame
+from repro.sim.phy import DOT11G
+from repro.sim.radio import Radio
+
+
+class SinkMac:
+    def __init__(self):
+        self.received = []
+
+    def on_receive(self, frame, rss_dbm):
+        self.received.append(frame)
+
+    def on_receive_failed(self, frame, rss_dbm):
+        pass
+
+    def on_trigger(self, *args):
+        pass
+
+    def on_queue_report(self, *args):
+        pass
+
+    def on_channel_busy(self):
+        pass
+
+    def on_channel_idle(self):
+        pass
+
+    def on_tx_end(self, frame):
+        pass
+
+
+def build():
+    sim = Simulator(seed=1)
+    medium = Medium(sim, DOT11G, lambda a, b: -50.0)
+    tx = Radio(0, medium)
+    rx = Radio(1, medium)
+    mac = SinkMac()
+    rx.mac = mac
+    return sim, tx, rx, mac
+
+
+def test_sleeping_radio_hears_nothing():
+    sim, tx, rx, mac = build()
+    rx.sleep_until(1_000.0)
+    tx.transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.run(until=2_000.0)
+    assert mac.received == []
+
+
+def test_awake_after_wake_time():
+    sim, tx, rx, mac = build()
+    rx.sleep_until(100.0)
+    sim.run(until=150.0)
+    assert not rx.asleep
+    tx.transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.run(until=1_000.0)
+    assert len(mac.received) == 1
+
+
+def test_sleep_accounting_accumulates():
+    sim, tx, rx, mac = build()
+    assert rx.sleep_until(100.0) == pytest.approx(100.0)
+    # Extending the same nap only grants the extension.
+    assert rx.sleep_until(150.0) == pytest.approx(50.0)
+    # Shrinking grants nothing.
+    assert rx.sleep_until(120.0) == 0.0
+    assert rx.total_sleep_us == pytest.approx(150.0)
+
+
+def test_transmitting_radio_refuses_sleep():
+    sim, tx, rx, mac = build()
+    tx.transmit(data_frame(0, 1, 512, 0, 0.0))
+    assert tx.sleep_until(1_000.0) == 0.0
+    assert not tx.asleep
+
+
+def test_sleep_abandons_ongoing_reception():
+    sim, tx, rx, mac = build()
+    tx.transmit(data_frame(0, 1, 512, 0, 0.0))
+    sim.run(until=50.0)  # mid-frame
+    rx.sleep_until(5_000.0)
+    sim.run(until=6_000.0)
+    assert mac.received == []

@@ -1,0 +1,182 @@
+"""Tests for topology construction — canonical figures and T(m, n)."""
+
+import pytest
+
+from repro.sim.phy import USRP
+from repro.topology.builder import (Topology, TopologyError,
+                                    build_t_topology, fig1_topology,
+                                    fig7_topology, fig13a_topology,
+                                    fig13b_topology, random_t_topology,
+                                    usrp_pair_topology)
+from repro.topology.links import Link
+from repro.topology.trace import two_building_trace
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: the semantics the paper states, verified via the maps
+# ----------------------------------------------------------------------
+class TestFig1:
+    def setup_method(self):
+        self.topo = fig1_topology()
+        self.imap = self.topo.interference_map()
+
+    def test_flows(self):
+        assert self.topo.flows == [Link(0, 1), Link(3, 2), Link(4, 5)]
+
+    def test_ap1_hidden_to_ap3(self):
+        """AP1 and AP3 cannot hear each other, yet AP1 destroys C3's
+        reception — the links form a hidden pair."""
+        assert not self.imap.in_cs_range(0, 4)
+        assert self.imap.classify_pair(Link(0, 1), Link(4, 5)) == "hidden"
+
+    def test_c2_and_ap1_exposed(self):
+        """C2 and AP1 carrier-sense each other but both receptions
+        survive concurrency — an exposed pair."""
+        assert self.imap.in_cs_range(0, 3)
+        assert self.imap.classify_pair(Link(0, 1), Link(3, 2)) == "exposed"
+
+    def test_uplink_compatible_with_both_downlinks(self):
+        assert not self.imap.conflicts(Link(3, 2), Link(0, 1))
+        assert not self.imap.conflicts(Link(3, 2), Link(4, 5))
+
+
+class TestFig7:
+    def setup_method(self):
+        self.topo = fig7_topology()
+        self.imap = self.topo.interference_map()
+
+    def test_downlink_conflict_graph_matches_fig7b(self):
+        """Pairs (1,2) and (3,4) conflict; everything else is free."""
+        downlinks = [Link(2 * i, 2 * i + 1) for i in range(4)]
+        conflicts = {
+            frozenset((a, b))
+            for a in downlinks for b in downlinks
+            if a != b and self.imap.conflicts(a, b)
+        }
+        assert conflicts == {
+            frozenset((Link(0, 1), Link(2, 3))),
+            frozenset((Link(4, 5), Link(6, 7))),
+        }
+
+    def test_ap3_ap4_hidden(self):
+        assert not self.imap.in_cs_range(4, 6)
+
+    def test_c4_can_trigger_ap3(self):
+        """Point 1 of Fig. 10: the receiver C4 wakes hidden AP3."""
+        assert self.imap.node_can_trigger(7, 4)
+
+    def test_ap2_and_ap3_audible_at_ap1(self):
+        assert self.imap.in_cs_range(2, 0)
+        assert self.imap.in_cs_range(4, 0)
+
+    def test_uplinks_flag(self):
+        topo = fig7_topology(uplinks=True)
+        assert len(topo.flows) == 8
+
+
+class TestFig13:
+    def test_13a_all_links_mutually_exposed(self):
+        topo = fig13a_topology()
+        imap = topo.interference_map()
+        links = topo.flows
+        for i, a in enumerate(links):
+            for b in links[i + 1:]:
+                assert imap.classify_pair(a, b) == "exposed"
+
+    def test_13b_three_senders_mutually_silent(self):
+        topo = fig13b_topology()
+        imap = topo.interference_map()
+        # AP1..AP3 out of range of each other.
+        for a in (0, 2):
+            for b in (2, 4):
+                if a != b:
+                    assert not imap.in_cs_range(a, b)
+        # AP4 hears all three.
+        for other in (0, 2, 4):
+            assert imap.in_cs_range(6, other)
+        # Still no actual conflicts anywhere.
+        for i, a in enumerate(topo.flows):
+            for b in topo.flows[i + 1:]:
+                assert not imap.conflicts(a, b)
+
+
+class TestUsrpScenarios:
+    def test_profiles_and_flows(self):
+        for scenario in ("SC", "HT", "ET"):
+            topo = usrp_pair_topology(scenario)
+            assert topo.profile is USRP
+            assert topo.flows == [Link(0, 1), Link(2, 3)]
+
+    def test_sc_conflicting_and_sensing(self):
+        imap = usrp_pair_topology("SC").interference_map()
+        assert imap.conflicts(Link(0, 1), Link(2, 3))
+        assert imap.in_cs_range(0, 2)
+
+    def test_ht_hidden(self):
+        imap = usrp_pair_topology("HT").interference_map()
+        assert imap.classify_pair(Link(0, 1), Link(2, 3)) == "hidden"
+
+    def test_et_exposed(self):
+        imap = usrp_pair_topology("ET").interference_map()
+        assert imap.classify_pair(Link(0, 1), Link(2, 3)) == "exposed"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            usrp_pair_topology("XX")
+
+
+# ----------------------------------------------------------------------
+# T(m, n)
+# ----------------------------------------------------------------------
+class TestTmn:
+    def test_shape_and_flows(self):
+        trace = two_building_trace()
+        topo = build_t_topology(trace, 10, 2, seed=3)
+        assert len(topo.network.aps) == 10
+        assert len(topo.network.clients) == 20
+        assert len(topo.flows) == 40  # up + down per client
+        for ap in topo.network.aps:
+            assert len(topo.network.clients_of(ap.node_id)) == 2
+
+    def test_clients_in_comm_range_of_their_ap(self):
+        trace = two_building_trace()
+        topo = build_t_topology(trace, 10, 2, seed=3)
+        for client in topo.network.clients:
+            assert trace.can_communicate(client.node_id, client.ap_id)
+
+    def test_deterministic_per_seed(self):
+        trace = two_building_trace()
+        a = build_t_topology(trace, 6, 2, seed=1)
+        b = build_t_topology(trace, 6, 2, seed=1)
+        assert a.flows == b.flows
+        c = build_t_topology(trace, 6, 2, seed=2)
+        assert a.flows != c.flows
+
+    def test_nodes_never_reused(self):
+        trace = two_building_trace()
+        topo = build_t_topology(trace, 10, 2, seed=3)
+        ids = [n.node_id for n in topo.network]
+        assert len(ids) == len(set(ids)) == 30
+
+    def test_impossible_shape_raises(self):
+        trace = two_building_trace()
+        with pytest.raises(TopologyError):
+            build_t_topology(trace, 15, 10, seed=0)  # needs 165 nodes
+
+    def test_random_topology_builds(self):
+        topo = random_t_topology(5, 2, seed=42)
+        assert len(topo.network.aps) == 5
+        assert len(topo.flows) == 20
+
+
+def test_association_links_cover_both_directions():
+    topo = fig1_topology()
+    links = topo.all_association_links()
+    assert Link(0, 1) in links and Link(1, 0) in links
+    assert len(links) == 6
+
+
+def test_downlinks_uplinks_partition():
+    topo = fig1_topology()
+    assert set(topo.downlinks()) == {Link(0, 1), Link(4, 5)}
+    assert set(topo.uplinks()) == {Link(3, 2)}

@@ -1,0 +1,66 @@
+"""Unit tests for placement generators."""
+
+from repro.topology.placement import (Building, grid_placement,
+                                      random_placement,
+                                      two_building_placement)
+
+
+def test_two_building_positions_inside_buildings():
+    layout = two_building_placement(40, seed=1)
+    assert len(layout.positions) == 40
+    for pos in layout.positions:
+        assert layout.building_of(pos) in (0, 1)
+
+
+def test_both_buildings_populated():
+    layout = two_building_placement(40, seed=1)
+    counts = {0: 0, 1: 0}
+    for pos in layout.positions:
+        counts[layout.building_of(pos)] += 1
+    assert counts[0] == 20
+    assert counts[1] == 20
+
+
+def test_wall_counter_zero_within_room():
+    layout = two_building_placement(10, seed=0)
+    b = layout.buildings[0]
+    count = layout.wall_counter()
+    a = (b.x0 + 1.0, b.y0 + 1.0)
+    c = (b.x0 + 2.0, b.y0 + 2.0)
+    assert count(a, c) == 0
+
+
+def test_wall_counter_cross_building_counts_exteriors():
+    layout = two_building_placement(10, seed=0)
+    count = layout.wall_counter()
+    a = layout.buildings[0].random_position(__import__("random").Random(1))
+    b = layout.buildings[1].random_position(__import__("random").Random(2))
+    assert count(a, b) >= 2  # at least the two exterior walls
+
+
+def test_placement_determinism():
+    assert two_building_placement(20, seed=3).positions == \
+        two_building_placement(20, seed=3).positions
+    assert random_placement(20, seed=3) == random_placement(20, seed=3)
+    assert random_placement(20, seed=3) != random_placement(20, seed=4)
+
+
+def test_random_placement_bounds():
+    for x, y in random_placement(200, area_m=800.0, seed=9):
+        assert 0.0 <= x <= 800.0
+        assert 0.0 <= y <= 800.0
+
+
+def test_grid_placement_spacing():
+    positions = grid_placement(9, spacing_m=30.0)
+    assert len(positions) == 9
+    assert positions[0] == (0.0, 0.0)
+    assert positions[1] == (30.0, 0.0)
+    assert positions[3] == (0.0, 30.0)
+
+
+def test_building_rooms_crossed():
+    building = Building(0.0, 0.0, 40.0, 20.0, room_size=10.0)
+    assert building.rooms_crossed((1.0, 1.0), (2.0, 2.0)) == 0
+    assert building.rooms_crossed((1.0, 1.0), (15.0, 1.0)) == 1
+    assert building.rooms_crossed((1.0, 1.0), (35.0, 15.0)) == 4

@@ -1,0 +1,68 @@
+"""Unit tests for the propagation models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.propagation import (NS3_DEFAULT, LogDistanceModel,
+                                        matrix_rss_fn)
+
+
+def test_path_loss_increases_with_distance():
+    model = LogDistanceModel(shadowing_sigma_db=0.0)
+    losses = [model.path_loss_db(d) for d in (1, 5, 10, 50, 100)]
+    assert losses == sorted(losses)
+    assert losses[0] == pytest.approx(model.pl0_db)
+
+
+def test_walls_add_loss():
+    model = LogDistanceModel()
+    assert model.path_loss_db(10.0, walls=3) == pytest.approx(
+        model.path_loss_db(10.0, walls=0) + 3 * model.wall_loss_db)
+
+
+def test_min_distance_clamps():
+    model = LogDistanceModel()
+    assert model.path_loss_db(0.0) == model.path_loss_db(model.min_distance_m)
+
+
+def test_rss_matrix_deterministic_per_seed():
+    model = LogDistanceModel()
+    positions = [(0.0, 0.0), (10.0, 0.0), (0.0, 20.0)]
+    a = model.rss_matrix(positions, 15.0, seed=5)
+    b = model.rss_matrix(positions, 15.0, seed=5)
+    c = model.rss_matrix(positions, 15.0, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_rss_matrix_nearly_reciprocal():
+    model = LogDistanceModel(asymmetry_sigma_db=1.0)
+    positions = [(0.0, 0.0), (15.0, 0.0), (30.0, 10.0), (5.0, 25.0)]
+    matrix = model.rss_matrix(positions, 15.0, seed=2)
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                assert abs(matrix[i, j] - matrix[j, i]) < 4.0
+
+
+def test_ns3_default_has_no_randomness():
+    positions = [(0.0, 0.0), (100.0, 0.0)]
+    a = NS3_DEFAULT.rss_matrix(positions, 15.0, seed=1)
+    b = NS3_DEFAULT.rss_matrix(positions, 15.0, seed=99)
+    assert np.array_equal(a, b)
+
+
+def test_matrix_rss_fn_adapts_lookup():
+    matrix = np.array([[15.0, -60.0], [-62.0, 15.0]])
+    rss = matrix_rss_fn(matrix)
+    assert rss(0, 1) == -60.0
+    assert rss(1, 0) == -62.0
+
+
+@given(st.floats(min_value=1.0, max_value=500.0),
+       st.floats(min_value=1.0, max_value=500.0))
+def test_property_farther_is_weaker(d1, d2):
+    model = LogDistanceModel(shadowing_sigma_db=0.0)
+    lo, hi = min(d1, d2), max(d1, d2)
+    assert model.path_loss_db(lo) <= model.path_loss_db(hi)

@@ -1,0 +1,75 @@
+"""Tests for the synthetic testbed trace."""
+
+import numpy as np
+import pytest
+
+from repro.topology.trace import (SyntheticTrace, manual_trace,
+                                  two_building_trace)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return two_building_trace()
+
+
+def test_default_trace_shape(trace):
+    assert trace.n_nodes == 40
+    assert trace.rss_dbm.shape == (40, 40)
+    assert len(trace.positions) == 40
+
+
+def test_trace_deterministic():
+    a = two_building_trace(seed=7)
+    b = two_building_trace(seed=7)
+    assert np.array_equal(a.rss_dbm, b.rss_dbm)
+
+
+def test_every_node_has_association_candidates(trace):
+    """T(m,n) needs APs with communication-range neighbours."""
+    degrees = [len(trace.comm_neighbors(n)) for n in range(trace.n_nodes)]
+    assert max(degrees) >= 5
+    assert sum(1 for d in degrees if d >= 2) >= 30
+
+
+def test_degree_order_is_decreasing_and_deterministic(trace):
+    order = trace.degree_order()
+    degrees = [len(trace.comm_neighbors(n)) for n in order]
+    assert degrees == sorted(degrees, reverse=True)
+    assert order == trace.degree_order()
+
+
+def test_can_communicate_requires_both_directions():
+    rss = np.full((2, 2), -200.0)
+    rss[0, 1] = -50.0
+    rss[1, 0] = -90.0  # asymmetric: only one direction strong
+    trace = SyntheticTrace(rss_dbm=rss)
+    assert not trace.can_communicate(0, 1)
+
+
+def test_rss_difference_fraction_is_small(trace):
+    """Sec. 3.1 reports 0.54 % of receiver-side pairs above 38 dB; the
+    synthetic trace must stay in the same low-percent regime so 3
+    guard subcarriers suffice for (almost) all pairs."""
+    fraction = trace.rss_difference_fraction(38.0)
+    assert fraction < 0.03
+    # And the statistic is monotone in the threshold.
+    assert trace.rss_difference_fraction(20.0) >= fraction
+
+
+def test_manual_trace_symmetric_default():
+    trace = manual_trace(3, {(0, 1): -50.0, (1, 2): -70.0})
+    assert trace.rss(0, 1) == -50.0
+    assert trace.rss(1, 0) == -50.0
+    assert trace.rss(2, 1) == -70.0
+    assert trace.rss(0, 2) == -120.0  # default
+
+
+def test_manual_trace_explicit_asymmetry():
+    trace = manual_trace(2, {(0, 1): -50.0, (1, 0): -80.0})
+    assert trace.rss(0, 1) == -50.0
+    assert trace.rss(1, 0) == -80.0
+
+
+def test_rss_fn_matches_matrix(trace):
+    rss = trace.rss_fn()
+    assert rss(3, 17) == trace.rss(3, 17)

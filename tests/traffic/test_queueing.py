@@ -1,0 +1,104 @@
+"""Tests for MAC queues and virtual-packet accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.packet import data_frame
+from repro.traffic.queueing import ROP_MAX_REPORT, MacQueue, QueueSet
+
+
+def frame(payload=512, seq=0):
+    return data_frame(1, 2, payload, seq, 0.0)
+
+
+def test_fifo_order():
+    queue = MacQueue()
+    frames = [frame(seq=i) for i in range(5)]
+    for f in frames:
+        queue.push(f)
+    assert [queue.pop() for _ in range(5)] == frames
+
+
+def test_drop_tail_when_full():
+    queue = MacQueue(capacity=3)
+    for i in range(5):
+        accepted = queue.push(frame(seq=i))
+        assert accepted == (i < 3)
+    assert len(queue) == 3
+    assert queue.stats.dropped == 2
+    assert queue.stats.enqueued == 3
+
+
+def test_requeue_front_restores_head():
+    queue = MacQueue()
+    queue.push(frame(seq=0))
+    queue.push(frame(seq=1))
+    head = queue.pop()
+    queue.requeue_front(head)
+    assert queue.pop().seq == 0
+
+
+def test_peek_does_not_remove():
+    queue = MacQueue()
+    queue.push(frame(seq=7))
+    assert queue.peek().seq == 7
+    assert len(queue) == 1
+    assert MacQueue().peek() is None
+
+
+def test_virtual_packets_fixed_size():
+    queue = MacQueue()
+    for i in range(4):
+        queue.push(frame(payload=512, seq=i))
+    assert queue.virtual_packets(512) == 4
+
+
+def test_virtual_packets_mixed_sizes():
+    """Sec. 3.5: big packets count as several virtual packets, small
+    ones still consume one slot each."""
+    queue = MacQueue()
+    queue.push(frame(payload=1500, seq=0))  # ceil(1500/512) = 3
+    queue.push(frame(payload=100, seq=1))   # 1
+    queue.push(frame(payload=512, seq=2))   # 1
+    assert queue.virtual_packets(512) == 5
+
+
+def test_virtual_packets_requires_positive_slot_size():
+    queue = MacQueue()
+    with pytest.raises(ValueError):
+        queue.virtual_packets(0)
+
+
+def test_rop_report_clamps_to_63():
+    queue = MacQueue(capacity=200)
+    for i in range(100):
+        queue.push(frame(seq=i))
+    assert queue.rop_report(512) == ROP_MAX_REPORT == 63
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4000), max_size=30))
+def test_property_virtual_at_least_real(payloads):
+    queue = MacQueue(capacity=100)
+    for i, p in enumerate(payloads):
+        queue.push(frame(payload=p, seq=i))
+    assert queue.virtual_packets(512) >= len(queue)
+    assert queue.rop_report(512) <= 63
+
+
+def test_queue_set_per_destination():
+    queues = QueueSet()
+    queues.push(data_frame(1, 2, 512, 0, 0.0))
+    queues.push(data_frame(1, 3, 512, 1, 0.0))
+    queues.push(data_frame(1, 2, 512, 2, 0.0))
+    assert queues.backlog_for(2) == 2
+    assert queues.backlog_for(3) == 1
+    assert queues.backlog_for(9) == 0
+    assert queues.total_backlog() == 3
+    assert set(queues.destinations_with_data()) == {2, 3}
+
+
+def test_queue_set_rejects_broadcast():
+    from repro.sim.packet import Frame, FrameKind
+    queues = QueueSet()
+    with pytest.raises(ValueError):
+        queues.push(Frame(kind=FrameKind.DATA, src=1, dst=None))

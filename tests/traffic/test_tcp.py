@@ -1,0 +1,146 @@
+"""Tests for the TCP-Reno-lite implementation."""
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.node import Network
+from repro.sim.phy import DOT11G
+from repro.traffic.tcp import TCP_ACK_BYTES, TcpFlow
+
+
+def tcp_pair(seed=1, rss=-50.0):
+    sim = Simulator(seed=seed)
+    network = Network()
+    network.add_ap(0)
+    network.add_client(1, 0)
+    medium = Medium(sim, DOT11G, lambda a, b: rss)
+    network.attach_all(medium)
+    macs = {n.node_id: DcfMac(sim, n, medium) for n in network}
+    return sim, macs
+
+
+def test_saturated_flow_transfers_in_order():
+    sim, macs = tcp_pair()
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.start()
+    sim.run(until=500_000.0)
+    assert flow.stats.delivered > 200
+    assert flow._expected == flow.stats.delivered  # in-order, no gaps
+    assert flow.send_base > 200
+
+
+def test_cwnd_grows_from_slow_start():
+    sim, macs = tcp_pair()
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.start()
+    assert flow.cwnd == 2.0
+    sim.run(until=300_000.0)
+    assert flow.cwnd > 8.0
+
+
+def test_rate_limited_app_throttles():
+    sim, macs = tcp_pair()
+    # ~1 Mbps application on a ~9 Mbps link.
+    flow = TcpFlow(sim, macs[0], macs[1], app_rate_mbps=1.0)
+    flow.start()
+    sim.run(until=1_000_000.0)
+    delivered_mbps = flow.stats.delivered * 512 * 8 / 1_000_000.0
+    assert delivered_mbps == pytest.approx(1.0, rel=0.15)
+
+
+def test_acks_ride_as_data_frames():
+    """Paper Sec. 4.2.3: TCP ACKs are regular packets on the reverse
+    path and consume channel time."""
+    sim, macs = tcp_pair()
+    reverse = []
+    macs[0].add_delivery_handler(lambda f, t: reverse.append(f))
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.start()
+    sim.run(until=200_000.0)
+    assert len(reverse) > 50
+    assert all(f.payload_bytes == TCP_ACK_BYTES for f in reverse)
+    assert all(f.meta.get("tcp_ack") is not None for f in reverse)
+
+
+def test_rto_recovers_from_jamming_blackout():
+    """A hidden jammer destroys every frame for a while: the MAC's
+    retries exhaust and drop packets, TCP times out, then recovers
+    once the jammer stops."""
+    sim = Simulator(seed=3)
+    network = Network()
+    network.add_ap(0)
+    network.add_client(1, 0)
+    network.add_client(2, 0)  # the jammer
+
+    def rss(a, b):
+        if 2 in (a, b):
+            # The jammer is loud at both endpoints (they defer and any
+            # overlapped reception dies); it hears nothing itself.
+            return -48.0 if a == 2 else -200.0
+        return -50.0
+
+    medium = Medium(sim, DOT11G, rss)
+    network.attach_all(medium)
+    macs = {n.node_id: DcfMac(sim, n, medium) for n in network.nodes.values()
+            if n.node_id != 2}
+    jammer_radio = network.nodes[2].radio
+
+    def jam():
+        if sim.now < 900_000.0:
+            if not jammer_radio.transmitting:
+                from repro.sim.packet import data_frame
+                jammer_radio.transmit(data_frame(2, 9, 1500, 0, 0.0))
+            # Re-arm fast enough that no idle gap fits a whole data
+            # exchange: anything started in a gap dies mid-air.
+            sim.schedule(200.0, jam)
+
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.start()
+    sim.run(until=100_000.0)
+    delivered_before = flow.stats.delivered
+    sim.schedule(0.0, jam)
+    sim.run(until=900_000.0)
+    # Leave room for the (exponentially backed-off) RTO to fire after
+    # the jam clears and for the window to regrow.
+    sim.run(until=5_000_000.0)
+    assert flow.stats.timeouts >= 1
+    assert flow.stats.delivered > delivered_before + 100  # recovered
+
+
+def test_dup_acks_trigger_fast_retransmit():
+    sim, macs = tcp_pair()
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.cwnd = 8.0
+    flow.next_seq = 8
+    flow._send_times = {i: 0.0 for i in range(8)}
+    before = flow.stats.sent
+    for _ in range(3):
+        flow._handle_dup_ack()
+    assert flow.stats.fast_retransmits == 1
+    assert flow.stats.sent == before + 1
+    assert flow.cwnd == pytest.approx(4.0)
+
+
+def test_new_ack_advances_window():
+    sim, macs = tcp_pair()
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow.cwnd = 4.0
+    flow.next_seq = 4
+    flow._send_times = {i: 0.0 for i in range(4)}
+    sim.run(until=1.0)
+    flow._handle_new_ack(3, now=sim.now)
+    assert flow.send_base == 3
+    assert flow.cwnd > 4.0
+
+
+def test_rtt_estimator_sets_rto():
+    sim, macs = tcp_pair()
+    flow = TcpFlow(sim, macs[0], macs[1])
+    flow._update_rtt(10_000.0)
+    assert flow._srtt == pytest.approx(10_000.0)
+    first_rto = flow._rto_us
+    assert first_rto >= flow.MIN_RTO_US
+    flow._update_rtt(10_000.0)
+    assert flow._rto_us <= first_rto
