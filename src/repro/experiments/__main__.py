@@ -14,9 +14,9 @@ strings them together in paper order and stamps each section.
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
+from ..telemetry import get_logger
 from . import (fig02_motivation, fig05_fig06_rop, fig09_signatures,
                fig10_microscope, fig11_misalignment, fig12_t10_2,
                fig14_random, sec5_extensions, sec5_polling, tab02_usrp,
@@ -86,10 +86,11 @@ def main(argv=None) -> int:
                         help="also write the report to this file")
     args = parser.parse_args(argv)
 
+    log = get_logger("experiments")
     chunks = []
     for title, runner in build_sections(args.quick):
         started = time.time()
-        print(f"[{title}] running...", file=sys.stderr, flush=True)
+        log.info("%s: running...", title)
         body = runner()
         elapsed = time.time() - started
         chunk = "\n".join([
@@ -104,7 +105,7 @@ def main(argv=None) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write("\n".join(chunks))
-        print(f"report written to {args.out}", file=sys.stderr)
+        log.info("report written to %s", args.out)
     return 0
 
 

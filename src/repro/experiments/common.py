@@ -16,8 +16,9 @@ third decimal places).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from .. import telemetry
 from ..core import (ControllerConfig, DominoNetwork, TriggerDetectionModel,
                     build_domino_network)
 from ..mac.centaur import build_centaur_network
@@ -48,6 +49,12 @@ class RunResult:
     controller: object = None
     domino: Optional[DominoNetwork] = None
     tcp_flows: List[TcpFlow] = field(default_factory=list)
+    #: Telemetry recorder for the run (None unless ``trace`` was given).
+    trace: Optional[telemetry.TraceRecorder] = None
+
+    @property
+    def metrics(self) -> Optional[telemetry.MetricsRegistry]:
+        return self.trace.metrics if self.trace is not None else None
 
     @property
     def aggregate_mbps(self) -> float:
@@ -91,16 +98,53 @@ def run_scheme(scheme: str, topology: Topology, *,
                seed: int = 1,
                domino_config: Optional[ControllerConfig] = None,
                trigger_model: Optional[TriggerDetectionModel] = None,
-               queue_capacity: int = 100) -> RunResult:
+               queue_capacity: int = 100,
+               trace: Union[bool, telemetry.TraceRecorder, None] = None
+               ) -> RunResult:
     """Run one scheme on one topology with the Sec. 4.2.1 traffic setup.
 
     ``saturated=True`` keeps every flow's queue full (Fig. 2 /
     Table 2/3 style); otherwise CBR at ``downlink_mbps`` /
     ``uplink_mbps`` per flow, or TCP with those application limits
     when ``tcp=True``.
+
+    ``trace`` opts the run into telemetry: pass ``True`` for a fresh
+    default :class:`~repro.telemetry.TraceRecorder` or an explicit
+    recorder (e.g. with a larger ring buffer).  The recorder is active
+    for the whole build + run and is returned on ``RunResult.trace``;
+    export with ``result.trace.export_jsonl(path)``.  The default
+    (``None``/``False``) keeps the zero-cost disabled path.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"scheme must be one of {SCHEMES}")
+    recorder: Optional[telemetry.TraceRecorder] = None
+    if isinstance(trace, telemetry.TraceRecorder):
+        recorder = trace          # explicit isinstance: an *empty*
+    elif trace:                   # recorder is falsy (len() == 0)
+        recorder = telemetry.TraceRecorder()
+    if recorder is not None:
+        telemetry.activate(recorder)
+    try:
+        return _run_scheme(
+            scheme, topology, horizon_us=horizon_us, warmup_us=warmup_us,
+            downlink_mbps=downlink_mbps, uplink_mbps=uplink_mbps,
+            saturated=saturated, tcp=tcp, payload_bytes=payload_bytes,
+            seed=seed, domino_config=domino_config,
+            trigger_model=trigger_model, queue_capacity=queue_capacity,
+            recorder=recorder)
+    finally:
+        if recorder is not None:
+            telemetry.deactivate()
+
+
+def _run_scheme(scheme: str, topology: Topology, *,
+                horizon_us: float, warmup_us: float,
+                downlink_mbps: float, uplink_mbps: float,
+                saturated: bool, tcp: bool, payload_bytes: int,
+                seed: int, domino_config: Optional[ControllerConfig],
+                trigger_model: Optional[TriggerDetectionModel],
+                queue_capacity: int,
+                recorder: Optional[telemetry.TraceRecorder]) -> RunResult:
     sim = Simulator(seed=seed)
     controller = None
     domino = None
@@ -126,8 +170,8 @@ def run_scheme(scheme: str, topology: Topology, *,
 
     flows = (topology.flows if saturated
              else active_flows(topology, downlink_mbps, uplink_mbps))
-    recorder = FlowRecorder(flows, warmup_us=warmup_us)
-    recorder.attach_all(macs.values())
+    flow_recorder = FlowRecorder(flows, warmup_us=warmup_us)
+    flow_recorder.attach_all(macs.values())
 
     tcp_flows: List[TcpFlow] = []
     for flow in topology.flows:
@@ -151,10 +195,17 @@ def run_scheme(scheme: str, topology: Topology, *,
     for mac in macs.values():
         mac.start()
     sim.run(until=horizon_us)
+    if recorder is not None:
+        # Summed airtime over the horizon = mean concurrent
+        # transmissions; above 1.0 the schedule is spatially reusing
+        # the channel.
+        airtime = recorder.metrics.counter("medium.airtime_us").value
+        recorder.metrics.gauge("medium.mean_concurrent_tx").set(
+            airtime / horizon_us if horizon_us > 0 else 0.0)
     return RunResult(scheme=scheme, topology=topology,
-                     horizon_us=horizon_us, recorder=recorder, macs=macs,
+                     horizon_us=horizon_us, recorder=flow_recorder, macs=macs,
                      controller=controller, domino=domino,
-                     tcp_flows=tcp_flows)
+                     tcp_flows=tcp_flows, trace=recorder)
 
 
 def format_table(headers: Sequence[str],

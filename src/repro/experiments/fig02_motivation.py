@@ -10,7 +10,7 @@ C2->AP2 transmits in every slot while AP1->C1 and AP3->C3 alternate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from ..topology.builder import fig1_topology
 from ..topology.links import Link

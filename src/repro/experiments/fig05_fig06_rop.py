@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core.ofdm import (MAX_QUEUE_REPORT, ClientSignal, OfdmParams,
                          RopSymbolDecoder, aggregate_at_ap,

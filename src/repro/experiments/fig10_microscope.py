@@ -15,8 +15,8 @@ paper's timeline shows four properties, all checked here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..core import build_domino_network
 from ..metrics.timeline import TimelineRecorder

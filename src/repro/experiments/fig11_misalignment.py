@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..core import build_domino_network
-from ..metrics.stats import FlowRecorder
 from ..sim.engine import Simulator
 from ..topology.builder import build_t_topology
 from ..topology.trace import two_building_trace

@@ -15,8 +15,8 @@ core evaluation; all three are implemented and exercised here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from ..core import ControllerConfig, build_domino_network
 from ..core.coexistence import CoexistenceConfig

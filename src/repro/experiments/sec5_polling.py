@@ -15,7 +15,7 @@ measures DOMINO's delay at ~1.14x DCF's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core import ControllerConfig
 from ..topology.builder import build_t_topology

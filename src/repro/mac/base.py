@@ -13,8 +13,9 @@ accounting and TCP must see each packet once.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, List, Set, Tuple
 
+from .. import telemetry
 from ..sim.engine import Simulator
 from ..sim.medium import Medium
 from ..sim.node import Node
@@ -37,6 +38,9 @@ class Mac:
         self.queues = QueueSet(queue_capacity)
         self._delivery_handlers: List[Tuple[DeliveryHandler, bool]] = []
         self._seen: Set[Tuple[Tuple[int, int], int]] = set()
+        # Telemetry session bound at construction; the no-op recorder
+        # when disabled, so subclasses guard with `if tel.enabled:`.
+        self._trace = telemetry.current()
         node.bind_mac(self)
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..sched.rand_scheduler import RandScheduler
-from ..sim.engine import Event, Simulator
+from ..sim.engine import Simulator
 from ..sim.medium import Medium
 from ..sim.node import Node
 from ..sim.wire import WiredBackbone

@@ -21,7 +21,7 @@ shortcut), and EIFS is not modelled.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.engine import Event, Simulator

@@ -14,7 +14,7 @@ benches is DOMINO's trigger/polling overhead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import networkx as nx
 

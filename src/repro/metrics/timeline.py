@@ -13,7 +13,7 @@ two timing results can be derived:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..topology.links import Link

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 from ..sim.phy import PhyProfile, dbm_to_mw, mw_to_dbm
 from ..topology.links import Link

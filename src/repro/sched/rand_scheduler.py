@@ -12,8 +12,7 @@ Fig. 7(c) / Fig. 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import networkx as nx
 

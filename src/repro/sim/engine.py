@@ -17,7 +17,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import time
 from typing import Any, Callable, List, Optional, Tuple
+
+from .. import telemetry
 
 
 class Event:
@@ -84,6 +87,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Telemetry session bound at construction (the no-op recorder
+        # when disabled); run() reports event-loop throughput to it.
+        self._telemetry = telemetry.current()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -116,6 +122,9 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        tel = self._telemetry
+        started = self._events_processed
+        wall_start = time.perf_counter() if tel.enabled else 0.0
         try:
             while self._heap:
                 event = self._heap[0]
@@ -130,6 +139,18 @@ class Simulator:
             self.now = max(self.now, until)
         finally:
             self._running = False
+            if tel.enabled:
+                # Event-loop throughput goes to the metrics registry
+                # only: wall-clock numbers must never enter the trace
+                # (the exported trace is deterministic per seed).
+                elapsed = time.perf_counter() - wall_start
+                processed = self._events_processed - started
+                metrics = tel.metrics
+                metrics.counter("engine.events").inc(processed)
+                metrics.counter("engine.wall_s").inc(elapsed)
+                if elapsed > 0.0 and processed:
+                    metrics.histogram("engine.events_per_sec").observe(
+                        processed / elapsed)
 
     def step(self) -> bool:
         """Process exactly one pending (non-cancelled) event.

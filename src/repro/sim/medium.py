@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Tuple, TYPE_CHECKING
 
+from .. import telemetry
 from .engine import Simulator
 from .packet import Frame
 from .phy import PhyProfile, dbm_to_mw
@@ -76,6 +77,7 @@ class Medium:
         self._radios: Dict[int, "Radio"] = {}
         self._reach_cache: Dict[int, List[Tuple["Radio", float, float]]] = {}
         self.active: Dict[int, Transmission] = {}
+        self._trace = telemetry.current()
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -135,6 +137,12 @@ class Medium:
             tx_power_dbm=self.profile.tx_power_dbm,
         )
         self.active[tx.uid] = tx
+        tel = self._trace
+        if tel.enabled:
+            tel.frame_tx(self.sim.now, src_id, frame, airtime)
+            metrics = tel.metrics
+            metrics.counter("medium.tx_frames").inc()
+            metrics.counter("medium.airtime_us").inc(airtime)
         for radio, rss_dbm, rss_mw in self.audible(src_id):
             radio.on_energy_start(tx, rss_dbm, rss_mw)
         self.sim.schedule(airtime, self._finish, tx)

@@ -8,7 +8,7 @@ because both the schedulers and the MACs need it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .medium import Medium

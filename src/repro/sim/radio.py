@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, TYPE_CHECKING
 
+from .. import telemetry
 from .medium import Medium, Transmission
 from .packet import Frame, FrameKind
 from .phy import PhyProfile, dbm_to_mw, mw_to_dbm
@@ -76,6 +77,7 @@ class Radio:
         # free of involvement.
         self._sleep_until = 0.0
         self.total_sleep_us = 0.0
+        self._trace = telemetry.current()
         medium.register(self)
 
     # ------------------------------------------------------------------
@@ -234,6 +236,18 @@ class Radio:
             self._lock = None
             threshold = self.profile.frame_sinr_threshold_db(frame)
             ok = (not rec.interrupted_by_tx) and rec.min_sinr_db >= threshold
+            tel = self._trace
+            if tel.enabled:
+                now = self.medium.sim.now
+                if ok:
+                    tel.frame_rx(now, self.node_id, frame)
+                else:
+                    reason = ("tx_busy" if rec.interrupted_by_tx else "sinr")
+                    tel.frame_drop(now, self.node_id, frame, reason)
+                    if reason == "sinr":
+                        # A locked frame whose SINR dipped below
+                        # threshold is the simulator's collision.
+                        tel.metrics.counter("radio.collisions").inc()
             if ok:
                 self.mac.on_receive(frame, rec.rss_dbm)
             else:

@@ -1,0 +1,104 @@
+"""Trace tooling CLI.
+
+Usage::
+
+    python -m repro.telemetry summarize run.jsonl
+    python -m repro.telemetry timeline  run.jsonl [--first N] [--last N]
+    python -m repro.telemetry filter    run.jsonl --kind sig_detect \
+        [--node 3] [--slot 7] [--t0 0] [--t1 50000]
+
+``summarize`` prints headline statistics and the reconstructed
+trigger-chain timeline (slot index, senders, triggering node,
+signature detected y/n, backup fallback used y/n); ``timeline``
+prints just the table; ``filter`` re-emits matching records as JSONL
+for further piping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .jsonl import TraceFormatError, dumps_record, load_jsonl
+from .trace_tools import (filter_records, render_timeline, summarize,
+                          trigger_chain_timeline)
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="trace file (JSONL, '-' for stdin)")
+
+
+def _load(path: str) -> List[dict]:
+    if path == "-":
+        return load_jsonl(sys.stdin)
+    return load_jsonl(path)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect DOMINO telemetry traces.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser(
+        "summarize", help="headline stats + trigger-chain timeline")
+    _add_trace_arg(cmd)
+
+    cmd = commands.add_parser(
+        "timeline", help="the trigger-chain timeline table only")
+    _add_trace_arg(cmd)
+    cmd.add_argument("--first", type=int, default=None,
+                     help="first slot index to show")
+    cmd.add_argument("--last", type=int, default=None,
+                     help="last slot index to show")
+
+    cmd = commands.add_parser(
+        "filter", help="re-emit matching records as JSONL")
+    _add_trace_arg(cmd)
+    cmd.add_argument("--kind", default=None, help="event kind (e.g. sig_detect)")
+    cmd.add_argument("--node", type=int, default=None)
+    cmd.add_argument("--slot", type=int, default=None)
+    cmd.add_argument("--t0", type=float, default=None,
+                     help="ignore events before this sim time (us)")
+    cmd.add_argument("--t1", type=float, default=None,
+                     help="ignore events after this sim time (us)")
+
+    args = parser.parse_args(argv)
+    try:
+        records = _load(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace} is not JSONL (line {exc.lineno}: "
+              f"{exc.msg})", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.command == "summarize":
+            print(summarize(records))
+        elif args.command == "timeline":
+            timeline = trigger_chain_timeline(records)
+            if args.first is not None:
+                timeline = [e for e in timeline if e.slot >= args.first]
+            if args.last is not None:
+                timeline = [e for e in timeline if e.slot <= args.last]
+            print(render_timeline(timeline))
+        else:
+            for record in filter_records(records, kind=args.kind,
+                                         node=args.node, slot=args.slot,
+                                         t0=args.t0, t1=args.t1):
+                print(dumps_record(record))
+    except BrokenPipeError:  # e.g. `... | head`; not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,228 @@
+"""Typed trace events and the on-disk record schema.
+
+Every trace record is one flat JSON object::
+
+    {"ev": "<kind>", "t": <sim time, us>, ...kind-specific fields}
+
+The hot path (the recorder's typed ``frame_tx`` / ``sig_detect`` /
+... helpers) emits plain dicts for speed; the dataclasses here are the
+schema's source of truth and what the trace *tooling* parses records
+back into (:func:`from_record`).
+
+Determinism contract: every field is derived from simulation state
+only — sim time, node ids, slot indices, seeded-RNG outcomes.  No
+wall-clock timestamps, no process-global counters (frame ``uid``s are
+process-global and deliberately excluded), no unsorted set iteration.
+Two runs with the same seed and topology therefore export
+byte-identical JSONL, which ``tests/telemetry/test_determinism.py``
+enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Type
+
+#: Bumped whenever a field is added/renamed; written into JSONL
+#: headers so tooling can refuse traces it does not understand.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base: every event has a simulation timestamp in microseconds."""
+
+    t: float
+
+    KIND = ""
+
+    def to_record(self) -> dict:
+        record = {"ev": self.KIND, **asdict(self)}
+        return record
+
+
+# ----------------------------------------------------------------------
+# Frame lifecycle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrameTx(TraceEvent):
+    """A frame was put on the air (recorded at the medium)."""
+
+    node: int                      # transmitting node
+    frame: str                     # FrameKind value ("data", "trigger", ...)
+    dst: Optional[int]             # None for broadcasts
+    seq: int
+    slot: Optional[int]            # global slot index, if slotted
+    airtime_us: float
+
+    KIND = "frame_tx"
+
+
+@dataclass(frozen=True)
+class FrameRx(TraceEvent):
+    """A locked frame decoded successfully (recorded at the radio)."""
+
+    node: int                      # receiving node
+    src: int
+    frame: str
+    seq: int
+    slot: Optional[int]
+
+    KIND = "frame_rx"
+
+
+@dataclass(frozen=True)
+class FrameDrop(TraceEvent):
+    """A tracked frame was lost at a receiver.
+
+    ``reason`` is one of ``sinr`` (collision / low SINR), ``tx_busy``
+    (the receiver was transmitting or asleep — half duplex), matching
+    the radio's two failure modes.
+    """
+
+    node: int
+    src: int
+    frame: str
+    seq: int
+    slot: Optional[int]
+    reason: str
+
+    KIND = "frame_drop"
+
+
+# ----------------------------------------------------------------------
+# Trigger chain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SignatureDetect(TraceEvent):
+    """Outcome of a targeted signature-detection draw at a node.
+
+    Emitted whether the draw succeeds (``detected=True``) or fails —
+    the misses are exactly what one greps for when a chain dies.
+    """
+
+    node: int                      # listening node (slot s+1 sender)
+    src: int                       # duty node that sent the burst
+    slot: int                      # slot the burst belongs to
+    sinr_db: float
+    combined: int                  # signatures overlapping the burst
+    detected: bool
+
+    KIND = "sig_detect"
+
+
+@dataclass(frozen=True)
+class TriggerFire(TraceEvent):
+    """A node broadcast its trigger duty (combined signatures)."""
+
+    node: int
+    slot: int
+    targets: List[int]             # sorted next-slot senders
+    rop: bool                      # burst ends with the ROP signature
+    polls: List[int]               # sorted APs polled after this slot
+
+    KIND = "trigger_fire"
+
+
+@dataclass(frozen=True)
+class BackupTrigger(TraceEvent):
+    """A chain was restarted outside the normal trigger path.
+
+    ``reason``: ``watchdog`` (AP entry watchdog re-seeded a dead
+    chain) or ``initial`` (first-batch self-start, Sec. 3.3).
+    """
+
+    node: int
+    slot: int
+    reason: str
+
+    KIND = "backup_trigger"
+
+
+@dataclass(frozen=True)
+class SlotExec(TraceEvent):
+    """A node executed its slot entry (data or fake transmission)."""
+
+    node: int
+    slot: int
+    dst: int
+    fake: bool
+
+    KIND = "slot_exec"
+
+
+# ----------------------------------------------------------------------
+# ROP
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RopPoll(TraceEvent):
+    """An AP opened an ROP polling round."""
+
+    node: int
+    slot: int
+    poll_set: int
+
+    KIND = "rop_poll"
+
+
+@dataclass(frozen=True)
+class RopDecode(TraceEvent):
+    """An AP jointly decoded the buffered queue reports."""
+
+    node: int
+    decoded: int
+    failed: int
+
+    KIND = "rop_decode"
+
+
+# ----------------------------------------------------------------------
+# Control plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleDispatch(TraceEvent):
+    """The controller shipped a batch's programs down the wire."""
+
+    batch: int
+    first_slot: int
+    last_slot: int
+    slots: int
+
+    KIND = "sched_dispatch"
+
+
+@dataclass(frozen=True)
+class BatchStart(TraceEvent):
+    """An AP reported a batch's first slot as executed."""
+
+    batch: int
+    node: int                      # reporting AP
+
+    KIND = "batch_start"
+
+
+#: kind string -> event dataclass.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.KIND: cls
+    for cls in (FrameTx, FrameRx, FrameDrop, SignatureDetect, TriggerFire,
+                BackupTrigger, SlotExec, RopPoll, RopDecode,
+                ScheduleDispatch, BatchStart)
+}
+
+
+def from_record(record: dict) -> TraceEvent:
+    """Parse one JSONL record back into its typed event.
+
+    Unknown kinds raise ``KeyError``; unknown fields raise
+    ``TypeError`` — a trace that does not match the schema should fail
+    loudly, not half-parse.
+    """
+    record = dict(record)
+    kind = record.pop("ev")
+    cls = EVENT_TYPES[kind]
+    return cls(**record)
+
+
+def required_fields(kind: str) -> List[str]:
+    """Field names (beyond ``ev``) a record of ``kind`` must carry."""
+    return [f.name for f in fields(EVENT_TYPES[kind])]

@@ -1,0 +1,95 @@
+"""Deterministic JSONL serialization for trace exports.
+
+One record per line, keys sorted, compact separators, no trailing
+whitespace.  Given identical record values this produces *byte*
+identical output — the property the determinism regression test
+pins down — because:
+
+* ``sort_keys=True`` removes dict-insertion-order effects;
+* floats serialize via ``repr`` (shortest round-trip form), which is
+  deterministic for identical IEEE-754 values;
+* set-valued fields are sorted into lists before they get here (the
+  recorder's typed helpers do this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Union
+
+from .events import SCHEMA_VERSION
+
+#: First line of every exported trace.
+HEADER_KEY = "__domino_trace__"
+
+
+def header_record() -> dict:
+    return {HEADER_KEY: SCHEMA_VERSION}
+
+
+def dumps_record(record: dict) -> str:
+    """One record as its canonical single-line JSON form."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def write_jsonl(stream: IO[str], records: Iterable[dict],
+                header: bool = True) -> int:
+    """Write records to an open text stream; returns the line count."""
+    n = 0
+    if header:
+        stream.write(dumps_record(header_record()))
+        stream.write("\n")
+        n += 1
+    for record in records:
+        stream.write(dumps_record(record))
+        stream.write("\n")
+        n += 1
+    return n
+
+
+def dump_jsonl(path: str, records: Iterable[dict], header: bool = True) -> int:
+    """Write records to ``path``; returns the line count."""
+    with open(path, "w", encoding="utf-8", newline="\n") as stream:
+        return write_jsonl(stream, records, header=header)
+
+
+class TraceFormatError(ValueError):
+    """The file is not a DOMINO trace, or its schema is unsupported."""
+
+
+def read_jsonl(source: Union[str, IO[str]],
+               require_header: bool = False) -> Iterator[dict]:
+    """Yield records from a trace file or open stream.
+
+    The header line, when present, is validated and swallowed.  Blank
+    lines are skipped so hand-edited traces stay loadable.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            yield from read_jsonl(stream, require_header=require_header)
+        return
+    first = True
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if first:
+            first = False
+            if HEADER_KEY in record:
+                version = record[HEADER_KEY]
+                if version != SCHEMA_VERSION:
+                    raise TraceFormatError(
+                        f"trace schema v{version} is not supported "
+                        f"(this build reads v{SCHEMA_VERSION})"
+                    )
+                continue
+            if require_header:
+                raise TraceFormatError("missing trace header line")
+        yield record
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> List[dict]:
+    """Eager form of :func:`read_jsonl`."""
+    return list(read_jsonl(source))

@@ -1,0 +1,186 @@
+"""Metrics registry: counters, gauges and percentile histograms.
+
+The metrics layer is the *aggregate* half of the telemetry subsystem
+(the :mod:`~repro.telemetry.recorder` trace is the per-event half).
+Metrics are cheap to record, bounded in memory, and are the numbers
+the perf work reports against: airtime, per-chain trigger latency,
+collision counts, event-loop throughput.
+
+Unlike trace events, metrics may legitimately contain wall-clock
+quantities (the event-loop throughput histogram does); they are never
+part of an exported trace, so they do not participate in the
+byte-identical determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (frames sent, airtime burned)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, batch id)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+def percentile(sorted_values: List[float], pct: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list.
+
+    ``pct`` is in [0, 100].  The nearest-rank definition (ceil(p/100*n),
+    1-indexed) matches what the flow recorder uses for delay tails, so
+    the two layers quote comparable numbers.
+    """
+    if not sorted_values:
+        return 0.0
+    if pct <= 0.0:
+        return sorted_values[0]
+    rank = int(math.ceil(pct / 100.0 * len(sorted_values)))
+    return sorted_values[min(max(rank, 1), len(sorted_values)) - 1]
+
+
+class Histogram:
+    """Sliding-window percentile histogram.
+
+    Keeps the most recent ``window`` observations in a ring buffer
+    (same bounded-memory policy as the trace recorder) and summarizes
+    them with count/min/max/mean and p50/p95/p99.  The total
+    count/sum keep accumulating past the window so rates stay honest
+    even after eviction begins.
+    """
+
+    __slots__ = ("name", "_samples", "count", "total")
+
+    def __init__(self, name: str, window: int = 65536):
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self.name = name
+        self._samples: Deque[float] = deque(maxlen=window)
+        self.count: int = 0
+        self.total: float = 0.0
+
+    def observe(self, value: Number) -> None:
+        self._samples.append(float(value))
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        return percentile(sorted(self._samples), pct)
+
+    def snapshot(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": ordered[0] if ordered else 0.0,
+            "max": ordered[-1] if ordered else 0.0,
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metric store, one per telemetry session.
+
+    ``registry.counter("medium.airtime_us")`` creates on first use and
+    returns the same object afterwards; asking for an existing name
+    with a different metric type is an error (it would silently fork
+    the data).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, window: Optional[int] = None) -> Histogram:
+        if window is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, window=window)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics))
+
+    def snapshot(self) -> Dict[str, Union[float, Dict[str, float]]]:
+        """All metrics as plain JSON-serializable values."""
+        return {name: self._metrics[name].snapshot() for name in self}
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line (histograms show
+        their percentile summary)."""
+        lines = []
+        for name in self:
+            snap = self._metrics[name].snapshot()
+            if isinstance(snap, dict):
+                detail = (f"count={snap['count']:.0f} mean={snap['mean']:.3f} "
+                          f"p50={snap['p50']:.3f} p95={snap['p95']:.3f} "
+                          f"p99={snap['p99']:.3f} max={snap['max']:.3f}")
+                lines.append(f"{name:<40} {detail}")
+            else:
+                lines.append(f"{name:<40} {snap:.3f}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -30,10 +30,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.medium import Medium
-from ..sim.node import Network, Node
+from ..sim.node import Network
 from ..sim.phy import DOT11G, PhyProfile
 from .links import Link
-from .placement import random_placement
 from .propagation import NS3_DEFAULT, LogDistanceModel
 from .trace import SyntheticTrace, manual_trace
 

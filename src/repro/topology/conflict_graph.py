@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List,
-                    Sequence, Set)
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Set
 
 import networkx as nx
 

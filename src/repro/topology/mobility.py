@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Tuple
+from typing import Optional
 
 from .propagation import LogDistanceModel, Position, WallCounter
 from .trace import SyntheticTrace

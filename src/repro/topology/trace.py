@@ -19,7 +19,6 @@ role and the same reported statistics:
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 

@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.core.converter import ConverterConfig, ScheduleConverter
 from repro.core.relative_schedule import build_programs

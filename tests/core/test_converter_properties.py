@@ -5,7 +5,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.converter import ConverterConfig, ScheduleConverter
+from repro.core.converter import ScheduleConverter
 from repro.core.relative_schedule import build_programs
 from repro.sched.interference_map import InterferenceMap
 from repro.sched.rand_scheduler import RandScheduler

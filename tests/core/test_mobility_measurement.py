@@ -6,7 +6,6 @@ two links together and the victim link collapses; a beacon measurement
 campaign rediscover the conflict and the scheduler separates them.
 """
 
-import math
 
 import networkx as nx
 import numpy as np
@@ -21,7 +20,7 @@ from repro.topology.links import Link
 from repro.topology.measurement import (ObservationStore, beacon_rounds,
                                         campaign_overhead_fraction,
                                         two_hop_graph, validate_rounds)
-from repro.topology.mobility import move_node, place_near
+from repro.topology.mobility import move_node
 from repro.topology.propagation import LogDistanceModel
 from repro.topology.trace import SyntheticTrace
 from repro.traffic.udp import SaturatedSource

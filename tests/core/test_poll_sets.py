@@ -8,7 +8,6 @@ must still reach the controller.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import ControllerConfig, build_domino_network
 from repro.sim.engine import Simulator

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.relative_schedule import (NodeProgram, RelativeBatch,
-                                          RelativeSlot, SlotEntry,
-                                          TriggerDuty, build_programs)
+from repro.core.relative_schedule import (RelativeBatch, RelativeSlot,
+                                          SlotEntry, TriggerDuty,
+                                          build_programs)
 from repro.topology.links import Link
 
 

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.ofdm import OfdmParams
 from repro.core.rop import (GUARD_TOLERANCE_DB, MIN_REPORT_SNR_DB,
-                            ReportObservation, RopDecoder, SubchannelPlan,
-                            guard_tolerance_db, plan_subchannels,
-                            poll_airtime_us, rop_slot_duration_us)
+                            ReportObservation, RopDecoder, guard_tolerance_db,
+                            plan_subchannels, poll_airtime_us,
+                            rop_slot_duration_us)
 from repro.sim.phy import DOT11G
 
 

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.signatures import (GoldFamily, SignatureAssigner,
-                                   gold_family, lfsr_m_sequence,
-                                   max_cross_correlation,
+from repro.core.signatures import (SignatureAssigner, gold_family,
+                                   lfsr_m_sequence, max_cross_correlation,
                                    periodic_cross_correlation)
 
 

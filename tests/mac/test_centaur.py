@@ -1,13 +1,11 @@
 """Behavioural tests for the CENTAUR baseline."""
 
-import pytest
 
 from repro.mac.centaur import CentaurApMac, build_centaur_network
 from repro.metrics.stats import FlowRecorder
 from repro.sim.engine import Simulator
 from repro.topology.builder import (fig7_topology, fig13a_topology,
                                     fig13b_topology)
-from repro.topology.links import Link
 from repro.traffic.udp import SaturatedSource
 
 HORIZON = 400_000.0

@@ -5,7 +5,6 @@ import pytest
 from repro.mac.dcf import DcfMac
 from repro.metrics.stats import FlowRecorder
 from repro.sim.engine import Simulator
-from repro.sim.medium import Medium
 from repro.sim.node import Network
 from repro.sim.phy import DOT11G
 from repro.topology.builder import fig1_topology, fig13a_topology

@@ -1,6 +1,5 @@
 """Tests for the central interference map."""
 
-import pytest
 
 from repro.sched.interference_map import InterferenceMap
 from repro.sim.phy import DOT11G

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.engine import Simulator
 from repro.sim.medium import Medium
 from repro.sim.packet import Frame, FrameKind, data_frame
-from repro.sim.phy import DOT11G, PhyProfile
+from repro.sim.phy import DOT11G
 from repro.sim.radio import Radio
 
 

@@ -1,0 +1,51 @@
+"""Two same-seed runs must export byte-identical traces.
+
+This is the regression gate on the schema's determinism contract (see
+``repro.telemetry.events``): records may contain only sim-derived
+values — no wall clock, no process-global counters, no unsorted set
+iteration.  Any instrumentation change that leaks one of those shows
+up here as a byte diff.
+"""
+
+import io
+
+from repro.experiments.common import run_scheme
+from repro.topology.builder import fig7_topology
+
+
+def traced_run():
+    result = run_scheme("domino", fig7_topology(uplinks=True),
+                        horizon_us=40_000.0, warmup_us=0.0,
+                        saturated=True, seed=11, trace=True)
+    stream = io.StringIO()
+    result.trace.write_jsonl(stream)
+    return result.trace, stream.getvalue()
+
+
+def test_same_seed_runs_export_identical_bytes():
+    rec_a, text_a = traced_run()
+    rec_b, text_b = traced_run()
+    # Sanity: the runs actually traced the chain machinery.
+    assert len(rec_a) > 100
+    kinds = {r["ev"] for r in rec_a.records()}
+    assert {"frame_tx", "slot_exec", "trigger_fire", "sig_detect"} <= kinds
+    assert text_a.encode("utf-8") == text_b.encode("utf-8")
+
+
+def test_different_seeds_diverge():
+    # The flip side: if traces were insensitive to the seed the byte
+    # equality above would be vacuous.
+    _, text_a = traced_run()
+    result = run_scheme("domino", fig7_topology(uplinks=True),
+                        horizon_us=40_000.0, warmup_us=0.0,
+                        saturated=True, seed=12, trace=True)
+    stream = io.StringIO()
+    result.trace.write_jsonl(stream)
+    assert text_a != stream.getvalue()
+
+
+def test_file_export_matches_stream_export(tmp_path):
+    rec, text = traced_run()
+    path = tmp_path / "trace.jsonl"
+    rec.export_jsonl(str(path))
+    assert path.read_bytes() == text.encode("utf-8")

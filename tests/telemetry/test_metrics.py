@@ -1,0 +1,130 @@
+"""Metrics registry: counters, gauges, histogram percentile math."""
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry, percentile)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(7)
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_inc_dec(self):
+        g = Gauge("g")
+        g.inc(4)
+        g.dec(1)
+        assert g.value == 3.0
+
+
+class TestPercentile:
+    def test_nearest_rank_definition(self):
+        values = sorted(float(v) for v in range(1, 101))  # 1..100
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 99.0) == 99.0
+        assert percentile(values, 100.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_small_samples(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([42.0], 50.0) == 42.0
+        assert percentile([42.0], 99.0) == 42.0
+        # n=4: p50 -> ceil(2)=2nd, p95 -> ceil(3.8)=4th.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 95.0) == 4.0
+
+
+class TestHistogram:
+    def test_summary_quantiles(self):
+        h = Histogram("h")
+        for v in range(1, 1001):        # 1..1000, uniform
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 1000
+        assert snap["min"] == 1.0 and snap["max"] == 1000.0
+        assert snap["p50"] == 500.0
+        assert snap["p95"] == 950.0
+        assert snap["p99"] == 990.0
+        assert snap["mean"] == pytest.approx(500.5)
+
+    def test_insertion_order_irrelevant(self):
+        a, b = Histogram("a"), Histogram("b")
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for v in values:
+            a.observe(v)
+        for v in sorted(values):
+            b.observe(v)
+        assert a.snapshot() == b.snapshot()
+
+    def test_window_keeps_most_recent(self):
+        h = Histogram("h", window=10)
+        for v in range(100):
+            h.observe(v)
+        # Percentiles see only the last 10 observations (90..99);
+        # nearest-rank p50 of 10 values is the 5th.
+        assert h.snapshot()["min"] == 90.0
+        assert h.snapshot()["p50"] == 94.0
+        # ...but the lifetime count/sum keep accumulating.
+        assert h.count == 100
+        assert h.total == sum(range(100))
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            Histogram("h", window=0)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0.0
+        assert snap["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("frames").inc(3)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("lat").observe(10.0)
+        snap = reg.snapshot()
+        assert snap["frames"] == 3.0
+        assert snap["depth"] == 1.5
+        assert snap["lat"]["count"] == 1.0
+        import json
+        json.dumps(snap)  # must serialize cleanly
+
+    def test_iteration_sorted_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.histogram("c").observe(1.0)
+        assert list(reg) == ["a", "b", "c"]
+        text = reg.render()
+        assert "a" in text and "p95" in text
+        assert MetricsRegistry().render() == "(no metrics recorded)"

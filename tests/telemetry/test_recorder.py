@@ -1,0 +1,221 @@
+"""Recorder semantics: ring eviction, no-op path, activation, JSONL."""
+
+import io
+
+import pytest
+
+from repro import telemetry
+from repro.sim.packet import Frame, FrameKind
+from repro.telemetry import (NULL, NullRecorder, TraceRecorder, from_record,
+                             jsonl)
+from repro.telemetry.events import SignatureDetect, required_fields
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    telemetry.deactivate()
+    yield
+    telemetry.deactivate()
+
+
+def make_frame(src=0, dst=1, seq=7, slot=None):
+    frame = Frame(kind=FrameKind.DATA, src=src, dst=dst, seq=seq,
+                  payload_bytes=512)
+    if slot is not None:
+        frame.meta["slot"] = slot
+    return frame
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.emit({"ev": "x", "t": float(i)})
+        assert len(rec) == 4
+        assert rec.emitted == 10
+        assert rec.evicted == 6
+        assert [r["t"] for r in rec.records()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_no_eviction_below_capacity(self):
+        rec = TraceRecorder(capacity=4)
+        rec.emit({"ev": "x", "t": 0.0})
+        assert rec.evicted == 0 and rec.emitted == 1
+
+    def test_clear_resets_counters(self):
+        rec = TraceRecorder(capacity=2)
+        for i in range(5):
+            rec.emit({"ev": "x", "t": float(i)})
+        rec.clear()
+        assert len(rec) == 0 and rec.emitted == 0 and rec.evicted == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_empty_recorder_is_truthy(self):
+        # __len__ alone would make a fresh recorder falsy, and
+        # `run_scheme(..., trace=TraceRecorder(...))` would silently
+        # skip activation.
+        assert TraceRecorder()
+        assert len(TraceRecorder()) == 0
+
+
+class TestNullRecorder:
+    def test_disabled_and_silent(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        # Every typed helper must be callable and record nothing.
+        null.emit({"ev": "x", "t": 0.0})
+        null.frame_tx(0.0, 1, make_frame(), 100.0)
+        null.frame_rx(0.0, 1, make_frame())
+        null.frame_drop(0.0, 1, make_frame(), "sinr")
+        null.sig_detect(0.0, 1, 2, 3, 12.0, 1, True)
+        null.trigger_fire(0.0, 1, 3, {2, 4}, False, set())
+        null.backup_trigger(0.0, 1, 3, "watchdog")
+        null.slot_exec(0.0, 1, 3, 2, False)
+        null.rop_poll(0.0, 1, 3, 0)
+        null.rop_decode(0.0, 1, 2, 0)
+        null.sched_dispatch(0.0, 1, 0, 7, 8)
+        null.batch_start(0.0, 1, 0)
+        # Metrics sink exists (records into the void) — callers that
+        # skip the `enabled` check must not crash.
+        null.metrics.counter("x").inc()
+
+    def test_null_mirrors_trace_recorder_interface(self):
+        # Any typed helper added to TraceRecorder needs a no-op twin
+        # declared on NullRecorder itself, otherwise code written
+        # against the null interface misses events on a real recorder.
+        hot_path = [name for name in vars(NullRecorder)
+                    if not name.startswith("_") and
+                    callable(getattr(NullRecorder, name))]
+        assert "emit" in hot_path and "frame_tx" in hot_path
+        for name in hot_path:
+            assert name in vars(TraceRecorder), (
+                f"TraceRecorder must override the no-op {name}")
+
+
+class TestActivation:
+    def test_default_is_null(self):
+        assert telemetry.current() is NULL
+        assert telemetry.enabled() is False
+
+    def test_activate_returns_fresh_recorder(self):
+        rec = telemetry.activate()
+        assert isinstance(rec, TraceRecorder)
+        assert telemetry.current() is rec
+        assert telemetry.enabled() is True
+
+    def test_activate_accepts_explicit_recorder(self):
+        mine = TraceRecorder(capacity=16)
+        assert telemetry.activate(mine) is mine
+        assert telemetry.current() is mine
+
+    def test_nested_activation_is_an_error(self):
+        telemetry.activate()
+        with pytest.raises(RuntimeError):
+            telemetry.activate()
+
+    def test_deactivate_is_idempotent(self):
+        telemetry.activate()
+        telemetry.deactivate()
+        telemetry.deactivate()
+        assert telemetry.current() is NULL
+
+
+class TestTypedHelpers:
+    def test_frame_helpers_use_frame_fields_not_uid(self):
+        rec = TraceRecorder()
+        rec.frame_tx(10.0, 0, make_frame(slot=3), 450.0)
+        rec.frame_rx(11.0, 1, make_frame(slot=3))
+        rec.frame_drop(12.0, 1, make_frame(), "tx_busy")
+        tx, rx, drop = rec.records()
+        assert tx == {"ev": "frame_tx", "t": 10.0, "node": 0,
+                      "frame": "data", "dst": 1, "seq": 7, "slot": 3,
+                      "airtime_us": 450.0}
+        assert rx["src"] == 0 and rx["slot"] == 3
+        assert drop["reason"] == "tx_busy" and drop["slot"] is None
+        # The process-global frame uid must never leak into a record.
+        assert all("uid" not in r for r in (tx, rx, drop))
+
+    def test_set_fields_sorted_at_emit(self):
+        rec = TraceRecorder()
+        rec.trigger_fire(5.0, 2, 4, {9, 1, 5}, True, {8, 0})
+        record = rec.records()[0]
+        assert record["targets"] == [1, 5, 9]
+        assert record["polls"] == [0, 8]
+
+    def test_records_round_trip_through_typed_events(self):
+        rec = TraceRecorder()
+        rec.sig_detect(20.0, 3, 1, 4, 17.123456, 2, True)
+        event = from_record(rec.records()[0])
+        assert isinstance(event, SignatureDetect)
+        assert event.sinr_db == 17.123       # rounded at emit
+        assert event.detected is True
+
+    def test_every_helper_matches_its_schema(self):
+        rec = TraceRecorder()
+        rec.frame_tx(0.0, 0, make_frame(), 1.0)
+        rec.frame_rx(0.0, 1, make_frame())
+        rec.frame_drop(0.0, 1, make_frame(), "sinr")
+        rec.sig_detect(0.0, 1, 0, 2, 9.0, 1, False)
+        rec.trigger_fire(0.0, 1, 2, [3], False, [])
+        rec.backup_trigger(0.0, 1, 2, "initial")
+        rec.slot_exec(0.0, 1, 2, 3, True)
+        rec.rop_poll(0.0, 1, 2, 0)
+        rec.rop_decode(0.0, 1, 1, 0)
+        rec.sched_dispatch(0.0, 0, 0, 5, 6)
+        rec.batch_start(0.0, 0, 1)
+        for record in rec.records():
+            kind = record["ev"]
+            assert set(record) - {"ev"} == set(required_fields(kind)), kind
+            from_record(record)  # parses without TypeError
+
+    def test_events_filter(self):
+        rec = TraceRecorder()
+        rec.slot_exec(10.0, 1, 0, 2, False)
+        rec.slot_exec(20.0, 2, 1, 3, False)
+        rec.backup_trigger(30.0, 1, 2, "watchdog")
+        assert len(list(rec.events(kind="slot_exec"))) == 2
+        assert len(list(rec.events(node=1))) == 2
+        assert [r["t"] for r in rec.events(t0=15.0, t1=25.0)] == [20.0]
+
+
+class TestJsonl:
+    def test_round_trip_values_and_header(self, tmp_path):
+        rec = TraceRecorder()
+        rec.slot_exec(10.5, 1, 0, 2, False)
+        rec.trigger_fire(11.0, 2, 0, {4, 3}, True, {1})
+        path = str(tmp_path / "trace.jsonl")
+        lines = rec.export_jsonl(path)
+        assert lines == 3  # header + 2 records
+        loaded = jsonl.load_jsonl(path)
+        assert loaded == rec.records()
+
+    def test_header_is_first_line_and_versioned(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        TraceRecorder().export_jsonl(path)
+        with open(path) as handle:
+            first = handle.readline().strip()
+        assert first == '{"__domino_trace__":1}'
+
+    def test_unsupported_schema_version_rejected(self):
+        stream = io.StringIO('{"__domino_trace__":99}\n{"ev":"x","t":0}\n')
+        with pytest.raises(jsonl.TraceFormatError):
+            jsonl.load_jsonl(stream)
+
+    def test_require_header(self):
+        stream = io.StringIO('{"ev":"x","t":0}\n')
+        with pytest.raises(jsonl.TraceFormatError):
+            list(jsonl.read_jsonl(stream, require_header=True))
+
+    def test_blank_lines_skipped(self):
+        stream = io.StringIO(
+            '{"__domino_trace__":1}\n\n{"ev":"x","t":1.0}\n\n')
+        assert jsonl.load_jsonl(stream) == [{"ev": "x", "t": 1.0}]
+
+    def test_dumps_record_is_canonical(self):
+        a = jsonl.dumps_record({"b": 1, "a": 2})
+        b = jsonl.dumps_record({"a": 2, "b": 1})
+        assert a == b == '{"a":2,"b":1}'
+        with pytest.raises(ValueError):
+            jsonl.dumps_record({"x": float("nan")})

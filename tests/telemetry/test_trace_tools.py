@@ -1,0 +1,148 @@
+"""Trace tooling: timeline reconstruction, summaries, filters, CLI."""
+
+import pytest
+
+from repro.telemetry import __main__ as cli
+from repro.telemetry.jsonl import dump_jsonl
+from repro.telemetry.trace_tools import (filter_records, render_timeline,
+                                         summarize, trigger_chain_timeline)
+
+
+def chain_records():
+    """A hand-built two-slot chain: node 1 fires the duty for slot 1,
+    node 2 detects it and executes; slot 2 needs the watchdog."""
+    return [
+        {"ev": "slot_exec", "t": 100.0, "node": 1, "slot": 0, "dst": 9,
+         "fake": False},
+        {"ev": "trigger_fire", "t": 550.0, "node": 1, "slot": 0,
+         "targets": [2], "rop": False, "polls": []},
+        {"ev": "sig_detect", "t": 560.0, "node": 2, "src": 1, "slot": 0,
+         "sinr_db": 15.0, "combined": 1, "detected": True},
+        {"ev": "slot_exec", "t": 600.0, "node": 2, "slot": 1, "dst": 9,
+         "fake": True},
+        {"ev": "rop_poll", "t": 650.0, "node": 9, "slot": 1, "poll_set": 0},
+        {"ev": "sig_detect", "t": 1050.0, "node": 3, "src": 2, "slot": 1,
+         "sinr_db": 2.0, "combined": 1, "detected": False},
+        {"ev": "backup_trigger", "t": 1400.0, "node": 3, "slot": 2,
+         "reason": "watchdog"},
+        {"ev": "slot_exec", "t": 1450.0, "node": 3, "slot": 2, "dst": 9,
+         "fake": False},
+    ]
+
+
+class TestTimeline:
+    def test_reconstruction(self):
+        timeline = trigger_chain_timeline(chain_records())
+        assert [e.slot for e in timeline] == [0, 1, 2]
+        slot0, slot1, slot2 = timeline
+
+        assert slot0.senders == [(1, False)]
+        assert slot0.signature_detected is None       # self-timed
+        assert not slot0.fallback_used
+
+        # The duty fired at slot 0 covers slot 1's senders.
+        assert slot1.trigger_node == 1
+        assert slot1.senders == [(2, True)]
+        assert slot1.detected == {2: True}
+        assert slot1.signature_detected is True
+        assert slot1.polls == [9]
+        assert slot1.start_us == 600.0
+
+        # Slot 2's draw failed; the watchdog restarted the chain.
+        assert slot2.signature_detected is False
+        assert slot2.fallback == {3: "watchdog"}
+        assert slot2.fallback_used
+
+    def test_replanned_draw_success_wins(self):
+        records = [
+            {"ev": "sig_detect", "t": 1.0, "node": 2, "src": 1, "slot": 0,
+             "sinr_db": 2.0, "combined": 1, "detected": False},
+            {"ev": "sig_detect", "t": 2.0, "node": 2, "src": 1, "slot": 0,
+             "sinr_db": 15.0, "combined": 1, "detected": True},
+        ]
+        (entry,) = trigger_chain_timeline(records)
+        assert entry.slot == 1 and entry.detected == {2: True}
+
+    def test_mixed_verdict_is_a_miss(self):
+        records = [
+            {"ev": "sig_detect", "t": 1.0, "node": 2, "src": 1, "slot": 0,
+             "sinr_db": 15.0, "combined": 2, "detected": True},
+            {"ev": "sig_detect", "t": 1.0, "node": 3, "src": 1, "slot": 0,
+             "sinr_db": 1.0, "combined": 2, "detected": False},
+        ]
+        (entry,) = trigger_chain_timeline(records)
+        assert entry.signature_detected is False
+
+    def test_render(self):
+        text = render_timeline(trigger_chain_timeline(chain_records()),
+                               names={9: "AP1"})
+        lines = text.splitlines()
+        assert "slot" in lines[0] and "fallback" in lines[0]
+        assert len(lines) == 2 + 3    # header + rule + one row per slot
+        assert "AP1" in text          # names applied to poll column
+        assert "MISS" in text         # failed draw visible
+        assert "3:watchdog" in text
+        assert render_timeline([]) == "(no slotted events in trace)"
+
+
+class TestSummarize:
+    def test_headline_numbers(self):
+        text = summarize(chain_records())
+        assert "8 events" in text
+        assert "signature detections: 1/2" in text
+        assert "backup-trigger fallbacks: 1" in text
+        assert "trigger-chain timeline" in text
+
+    def test_empty(self):
+        assert summarize([]) == "(empty trace)"
+
+
+class TestFilter:
+    def test_by_kind_node_slot_time(self):
+        records = chain_records()
+        assert len(list(filter_records(records, kind="slot_exec"))) == 3
+        assert len(list(filter_records(records, node=2))) == 2
+        assert len(list(filter_records(records, kind="slot_exec",
+                                       slot=1))) == 1
+        windowed = list(filter_records(records, t0=500.0, t1=700.0))
+        assert [r["t"] for r in windowed] == [550.0, 560.0, 600.0, 650.0]
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(str(path), chain_records())
+        return str(path)
+
+    def test_summarize(self, trace_path, capsys):
+        assert cli.main(["summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trigger-chain timeline" in out and "watchdog" in out
+
+    def test_timeline_with_slot_window(self, trace_path, capsys):
+        assert cli.main(["timeline", trace_path, "--first", "1",
+                         "--last", "1"]) == 0
+        out = capsys.readouterr().out
+        body = [l for l in out.splitlines()[2:] if l.strip()]
+        assert len(body) == 1 and body[0].startswith("1 ")
+
+    def test_filter_reemits_jsonl(self, trace_path, capsys):
+        assert cli.main(["filter", trace_path, "--kind", "sig_detect",
+                         "--node", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert '"detected":false' in out[0]
+
+    def test_user_errors_are_clean(self, tmp_path, capsys):
+        # Missing, non-JSONL, and future-schema traces must produce a
+        # one-line error + exit 2, not a traceback.
+        assert cli.main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        assert cli.main(["summarize", str(garbage)]) == 2
+        future = tmp_path / "future.jsonl"
+        future.write_text('{"__domino_trace__":99}\n')
+        assert cli.main(["summarize", str(future)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("error:") == 3 and "Traceback" not in err

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.sim.phy import USRP
-from repro.topology.builder import (Topology, TopologyError,
-                                    build_t_topology, fig1_topology,
-                                    fig7_topology, fig13a_topology,
-                                    fig13b_topology, random_t_topology,
-                                    usrp_pair_topology)
+from repro.topology.builder import (TopologyError, build_t_topology,
+                                    fig1_topology, fig7_topology,
+                                    fig13a_topology, fig13b_topology,
+                                    random_t_topology, usrp_pair_topology)
 from repro.topology.links import Link
 from repro.topology.trace import two_building_trace
 
