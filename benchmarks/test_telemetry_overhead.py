@@ -1,23 +1,23 @@
-"""Overhead guard: disabled telemetry must stay under 5 % runtime.
+"""Overhead guard: telemetry must stay cheap, off *and* on.
 
-The instrumentation's disabled path is one attribute load plus one
-``enabled`` branch per site (components capture the NULL recorder at
-construction).  This bench pins that down against the reference
-fig12-style UDP workload two ways:
+Budgets (asserted against the reference fig12-style UDP workload):
 
-* **end to end** — time the same T(10, 2) UDP run with telemetry off
-  and on; the *disabled* cost is bounded above by the enabled delta
-  scaled by the guard-to-emission cost ratio, but we assert directly
-  on a repeated disabled-vs-disabled comparison plus a guard
-  micro-cost estimate, because a single off-vs-off run pair is noisy
-  at these margins;
-* **micro** — measure the per-site guard cost (attribute load +
-  branch on the NULL recorder) and multiply by the run's actual
-  instrumentation hit count (known from the enabled run's ``emitted``
-  counter, which counts exactly the sites that fired).
+* **disabled** < 5 % runtime — the path everyone pays.  One attribute
+  load plus one ``enabled`` branch per site (components capture the
+  NULL recorder at construction); measured as guard micro-cost times
+  the run's actual instrumentation hit count, because a single
+  off-vs-off wall-clock pair is noisier than the effect itself.
+* **enabled** < 20 % runtime — the path a traced run pays.  The
+  recorder appends one raw tuple per event and defers all dict
+  building / set sorting / float rounding to read time, which is what
+  brought this under budget.  Measured end to end, interleaved
+  base/enabled pairs, best-of-N on each side so scheduler noise
+  cancels instead of accumulating.
 
-The verdict plus raw numbers land in ``BENCH_telemetry.json`` so perf
-history survives CI runs.
+The verdict plus raw numbers land in ``BENCH_telemetry.json``
+(latest-run snapshot) and are appended to ``BENCH_history.jsonl``
+via :mod:`trend`, whose CI gate fails the build if a gated ratio
+regresses more than 15 % against the recorded median.
 """
 
 from __future__ import annotations
@@ -31,11 +31,15 @@ from repro import telemetry
 from repro.experiments.common import run_scheme
 from repro.experiments.fig12_t10_2 import default_topology
 
+import trend
+
 RESULT_PATH = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "BENCH_telemetry.json")
 
 HORIZON_US = 120_000.0
-MAX_DISABLED_OVERHEAD = 0.05      # the ISSUE's 5 % budget
+MAX_DISABLED_OVERHEAD = 0.05      # the original 5 % budget
+MAX_ENABLED_OVERHEAD = 0.20       # this PR's enabled-path budget
+REPEATS = 3                       # interleaved base/enabled pairs
 
 
 def reference_run(trace):
@@ -70,12 +74,29 @@ def guard_cost_seconds():
     return timeit.timeit(component.hot_path, number=loops) / loops
 
 
-def test_disabled_telemetry_overhead_under_budget():
+def measure_interleaved(repeats=REPEATS):
+    """Alternate base/enabled runs and keep the best of each side.
+
+    Interleaving means thermal or scheduler drift hits both sides
+    alike; taking the min discards the noisy outliers (the minimum of
+    a deterministic workload's wall time is its least-disturbed run).
+    """
+    base_times, enabled_times = [], []
+    enabled_result = None
+    for _ in range(repeats):
+        _, base_s = timed(lambda: reference_run(trace=None))
+        base_times.append(base_s)
+        enabled_result, enabled_s = timed(lambda: reference_run(
+            trace=telemetry.TraceRecorder(capacity=1 << 20)))
+        enabled_times.append(enabled_s)
+    return min(base_times), min(enabled_times), enabled_result
+
+
+def test_telemetry_overhead_under_budget():
     # Warm caches/allocator with a throwaway run, then measure.
     reference_run(trace=None)
-    _, base_s = timed(lambda: reference_run(trace=None))
-    enabled_result, enabled_s = timed(
-        lambda: reference_run(trace=telemetry.TraceRecorder(capacity=1 << 20)))
+    base_s, enabled_s, enabled_result = measure_interleaved()
+    enabled_fraction = enabled_s / base_s - 1.0
 
     hits = enabled_result.trace.emitted
     assert hits > 1000, "reference run barely exercised the instrumentation"
@@ -91,16 +112,29 @@ def test_disabled_telemetry_overhead_under_budget():
                     f"horizon={HORIZON_US / 1000.0:.0f} ms",
         "baseline_s": round(base_s, 4),
         "enabled_s": round(enabled_s, 4),
-        "enabled_overhead_fraction": round(enabled_s / base_s - 1.0, 4),
+        "enabled_overhead_fraction": round(enabled_fraction, 4),
+        "enabled_budget_fraction": MAX_ENABLED_OVERHEAD,
         "instrumentation_hits": hits,
         "guard_cost_ns": round(per_site_s * 1e9, 2),
         "disabled_overhead_s_estimate": round(disabled_overhead_s, 6),
         "disabled_overhead_fraction": round(disabled_fraction, 6),
         "budget_fraction": MAX_DISABLED_OVERHEAD,
-        "pass": disabled_fraction < MAX_DISABLED_OVERHEAD,
+        "pass": (disabled_fraction < MAX_DISABLED_OVERHEAD
+                 and enabled_fraction < MAX_ENABLED_OVERHEAD),
     }
     with open(RESULT_PATH, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
+    trend.append("telemetry_overhead", {
+        "baseline_s": round(base_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_runtime_ratio": round(enabled_s / base_s, 4),
+        "disabled_overhead_fraction": round(disabled_fraction, 6),
+        "guard_cost_ns": round(per_site_s * 1e9, 2),
+        "domino_mbps": round(enabled_result.aggregate_mbps, 4),
+        "trace_events_emitted": hits,
+    })
+
     assert disabled_fraction < MAX_DISABLED_OVERHEAD, report
+    assert enabled_fraction < MAX_ENABLED_OVERHEAD, report

@@ -334,7 +334,10 @@ class DominoMac(Mac):
                 and next_slot in self._send_entries
                 and next_slot not in self._executed):
             tel = self._trace
-            if self.trigger_model.sample_detect(self._rng, sinr_db, combined):
+            # Explicit draw (same RNG stream as sample_detect) so the
+            # model probability can ride on the sig_detect event.
+            p_detect = self.trigger_model.p_detect(sinr_db, combined)
+            if self._rng.random() < p_detect:
                 self.stats.triggers_detected += 1
                 self._last_anchor = self.sim.now
                 # The burst ends a fixed offset into the triggering
@@ -348,7 +351,8 @@ class DominoMac(Mac):
                 jitter = self.trigger_model.sample_jitter_us(self._rng)
                 if tel.enabled:
                     tel.sig_detect(self.sim.now, self.node.node_id,
-                                   frame.src, slot, sinr_db, combined, True)
+                                   frame.src, slot, sinr_db, combined, True,
+                                   p_detect)
                     # Chain latency: burst end to the planned TX start.
                     tel.metrics.histogram(
                         "domino.trigger_latency_us").observe(jitter + wait)
@@ -357,7 +361,8 @@ class DominoMac(Mac):
                 self.stats.triggers_missed += 1
                 if tel.enabled:
                     tel.sig_detect(self.sim.now, self.node.node_id,
-                                   frame.src, slot, sinr_db, combined, False)
+                                   frame.src, slot, sinr_db, combined, False,
+                                   p_detect)
                     tel.metrics.counter("domino.trigger_misses").inc()
         if (self.node.node_id in frame.meta.get("rop_polls", frozenset())
                 and slot in self._rop_slots
@@ -672,6 +677,7 @@ class DominoMac(Mac):
                 "queue_len": backlog.rop_report(512),
                 "true_backlog": len(backlog),
                 "subchannel": self.my_subchannel,
+                "slot": poll.meta.get("slot"),
             },
         )
         self.stats.reports_sent += 1
@@ -690,9 +696,10 @@ class DominoMac(Mac):
             queue_len=frame.meta["queue_len"],
         ))
         if self._rop_decode_event is None:
-            self._rop_decode_event = self.sim.schedule(1.0, self._decode_reports)
+            self._rop_decode_event = self.sim.schedule(
+                1.0, self._decode_reports, frame.meta.get("slot"))
 
-    def _decode_reports(self) -> None:
+    def _decode_reports(self, slot: Optional[int] = None) -> None:
         self._rop_decode_event = None
         observations = self._rop_buffer
         self._rop_buffer = []
@@ -703,7 +710,9 @@ class DominoMac(Mac):
         self.stats.reports_failed += len(results) - len(decoded)
         if self._trace.enabled:
             self._trace.rop_decode(self.sim.now, self.node.node_id,
-                                   len(decoded), len(results) - len(decoded))
+                                   len(decoded), len(results) - len(decoded),
+                                   slot, self.rop_decoder.last_low_snr,
+                                   self.rop_decoder.last_blocked)
         if self.send_to_controller is not None and decoded:
             self.send_to_controller({
                 "type": "rop_report",

@@ -130,6 +130,10 @@ class RopDecoder:
         self.noise_dbm = noise_dbm
         self.tolerance_db = guard_tolerance_db(params.guard_subcarriers)
         self._trace = telemetry.current()
+        # Failure breakdown of the most recent decode() round, for the
+        # MAC's rop_decode trace event (doctor attribution).
+        self.last_low_snr = 0
+        self.last_blocked = 0
 
     def decode(self, observations: Sequence[ReportObservation]
                ) -> Dict[int, Optional[int]]:
@@ -156,6 +160,8 @@ class RopDecoder:
             results[obs.client] = None if blocked else min(
                 obs.queue_len, MAX_QUEUE_REPORT
             )
+        self.last_low_snr = low_snr
+        self.last_blocked = blocked_count
         tel = self._trace
         if tel.enabled and observations:
             metrics = tel.metrics

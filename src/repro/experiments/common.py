@@ -51,10 +51,26 @@ class RunResult:
     tcp_flows: List[TcpFlow] = field(default_factory=list)
     #: Telemetry recorder for the run (None unless ``trace`` was given).
     trace: Optional[telemetry.TraceRecorder] = None
+    #: Per-callback-site engine profile (None unless ``profile=True``):
+    #: ``{site: {"calls", "cum_s"}}``, most expensive site first.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def metrics(self) -> Optional[telemetry.MetricsRegistry]:
         return self.trace.metrics if self.trace is not None else None
+
+    def doctor(self) -> "telemetry.analysis.HealthReport":
+        """Diagnose the run's trace into a structured health report.
+
+        Requires the run to have been traced
+        (``run_scheme(..., trace=True)``).
+        """
+        if self.trace is None:
+            raise ValueError(
+                "doctor() needs a traced run: pass trace=True to run_scheme")
+        return telemetry.analysis.diagnose(
+            self.trace.records(), metrics=self.trace.metrics,
+            horizon_us=self.horizon_us)
 
     @property
     def aggregate_mbps(self) -> float:
@@ -99,7 +115,8 @@ def run_scheme(scheme: str, topology: Topology, *,
                domino_config: Optional[ControllerConfig] = None,
                trigger_model: Optional[TriggerDetectionModel] = None,
                queue_capacity: int = 100,
-               trace: Union[bool, telemetry.TraceRecorder, None] = None
+               trace: Union[bool, telemetry.TraceRecorder, None] = None,
+               profile: bool = False
                ) -> RunResult:
     """Run one scheme on one topology with the Sec. 4.2.1 traffic setup.
 
@@ -114,6 +131,10 @@ def run_scheme(scheme: str, topology: Topology, *,
     for the whole build + run and is returned on ``RunResult.trace``;
     export with ``result.trace.export_jsonl(path)``.  The default
     (``None``/``False``) keeps the zero-cost disabled path.
+
+    ``profile=True`` additionally times every event-loop callback site
+    (``RunResult.profile``; also surfaced as ``engine.site.*`` gauges
+    when tracing).  Adds two clock reads per event — opt-in only.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"scheme must be one of {SCHEMES}")
@@ -131,7 +152,7 @@ def run_scheme(scheme: str, topology: Topology, *,
             saturated=saturated, tcp=tcp, payload_bytes=payload_bytes,
             seed=seed, domino_config=domino_config,
             trigger_model=trigger_model, queue_capacity=queue_capacity,
-            recorder=recorder)
+            recorder=recorder, profile=profile)
     finally:
         if recorder is not None:
             telemetry.deactivate()
@@ -144,8 +165,9 @@ def _run_scheme(scheme: str, topology: Topology, *,
                 seed: int, domino_config: Optional[ControllerConfig],
                 trigger_model: Optional[TriggerDetectionModel],
                 queue_capacity: int,
-                recorder: Optional[telemetry.TraceRecorder]) -> RunResult:
-    sim = Simulator(seed=seed)
+                recorder: Optional[telemetry.TraceRecorder],
+                profile: bool = False) -> RunResult:
+    sim = Simulator(seed=seed, profile=profile)
     controller = None
     domino = None
     if scheme == "dcf":
@@ -205,7 +227,8 @@ def _run_scheme(scheme: str, topology: Topology, *,
     return RunResult(scheme=scheme, topology=topology,
                      horizon_us=horizon_us, recorder=flow_recorder, macs=macs,
                      controller=controller, domino=domino,
-                     tcp_flows=tcp_flows, trace=recorder)
+                     tcp_flows=tcp_flows, trace=recorder,
+                     profile=sim.profile_snapshot() if profile else None)
 
 
 def format_table(headers: Sequence[str],

@@ -18,7 +18,7 @@ import heapq
 import itertools
 import random
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 
@@ -80,7 +80,7 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, profile: bool = False):
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._heap: List[Event] = []
@@ -90,6 +90,11 @@ class Simulator:
         # Telemetry session bound at construction (the no-op recorder
         # when disabled); run() reports event-loop throughput to it.
         self._telemetry = telemetry.current()
+        # Opt-in hot-path attribution: per-callback-site call counts
+        # and cumulative wall time (see profile_snapshot()).  Off by
+        # default — the plain run loop stays timing-free.
+        self.profile_enabled = bool(profile)
+        self._profile_sites: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -126,16 +131,10 @@ class Simulator:
         started = self._events_processed
         wall_start = time.perf_counter() if tel.enabled else 0.0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                self._events_processed += 1
-                event.fn(*event.args)
+            if self.profile_enabled:
+                self._drain_profiled(until)
+            else:
+                self._drain(until)
             self.now = max(self.now, until)
         finally:
             self._running = False
@@ -151,6 +150,71 @@ class Simulator:
                 if elapsed > 0.0 and processed:
                     metrics.histogram("engine.events_per_sec").observe(
                         processed / elapsed)
+                if self.profile_enabled:
+                    self._publish_profile(metrics)
+
+    def _drain(self, until: float) -> None:
+        """The plain event loop (no per-callback timing)."""
+        while self._heap:
+            event = self._heap[0]
+            if event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+
+    def _drain_profiled(self, until: float) -> None:
+        """The event loop with per-callback-site attribution.
+
+        Same semantics as :meth:`_drain` plus two ``perf_counter``
+        reads per event; kept as a separate loop so the default path
+        pays nothing for the feature.
+        """
+        sites = self._profile_sites
+        clock = time.perf_counter
+        while self._heap:
+            event = self._heap[0]
+            if event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            fn = event.fn
+            t0 = clock()
+            fn(*event.args)
+            dt = clock() - t0
+            key = getattr(fn, "__qualname__", None) or repr(fn)
+            entry = sites.get(key)
+            if entry is None:
+                entry = sites[key] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += dt
+
+    def _publish_profile(self, metrics) -> None:
+        """Surface the per-site totals through the metrics registry.
+
+        Gauges (last-write-wins, set to the running totals) so calling
+        ``run()`` several times never double-counts.
+        """
+        for name, (calls, cum_s) in self._profile_sites.items():
+            metrics.gauge(f"engine.site.{name}.calls").set(calls)
+            metrics.gauge(f"engine.site.{name}.cum_s").set(cum_s)
+
+    def profile_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-callback-site totals, most expensive first.
+
+        ``{site: {"calls": n, "cum_s": seconds}}``; empty unless the
+        simulator was built with ``profile=True`` and has run.
+        """
+        ordered = sorted(self._profile_sites.items(),
+                         key=lambda item: item[1][1], reverse=True)
+        return {name: {"calls": float(calls), "cum_s": cum_s}
+                for name, (calls, cum_s) in ordered}
 
     def step(self) -> bool:
         """Process exactly one pending (non-cancelled) event.

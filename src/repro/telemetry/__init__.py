@@ -38,7 +38,9 @@ controller) are constructed, and stays bound to them for their
 lifetime.
 
 Trace files are examined with ``python -m repro.telemetry``
-(``summarize`` / ``timeline`` / ``filter``).
+(``summarize`` / ``timeline`` / ``filter`` / ``doctor`` / ``diff``);
+the diagnosis layer behind ``doctor`` and ``diff`` lives in
+:mod:`~repro.telemetry.analysis`.
 """
 
 from __future__ import annotations
@@ -52,6 +54,7 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import NULL, NullRecorder, TraceRecorder
 from .trace_tools import (SlotChainEntry, filter_records, render_timeline,
                           summarize, trigger_chain_timeline)
+from . import analysis
 
 __all__ = [
     "EVENT_TYPES", "SCHEMA_VERSION", "TraceEvent", "from_record",
@@ -61,6 +64,7 @@ __all__ = [
     "NULL", "NullRecorder", "TraceRecorder",
     "SlotChainEntry", "filter_records", "render_timeline", "summarize",
     "trigger_chain_timeline",
+    "analysis",
     "current", "activate", "deactivate", "enabled",
 ]
 

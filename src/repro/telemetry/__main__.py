@@ -6,12 +6,17 @@ Usage::
     python -m repro.telemetry timeline  run.jsonl [--first N] [--last N]
     python -m repro.telemetry filter    run.jsonl --kind sig_detect \
         [--node 3] [--slot 7] [--t0 0] [--t1 50000]
+    python -m repro.telemetry doctor    run.jsonl [--json] [--horizon-us H]
+    python -m repro.telemetry diff      a.jsonl b.jsonl [--json]
 
 ``summarize`` prints headline statistics and the reconstructed
 trigger-chain timeline (slot index, senders, triggering node,
 signature detected y/n, backup fallback used y/n); ``timeline``
 prints just the table; ``filter`` re-emits matching records as JSONL
-for further piping.
+for further piping; ``doctor`` runs the diagnosis layer
+(:mod:`~repro.telemetry.analysis`) and prints the health report;
+``diff`` aligns two traces slot-by-slot and reports the first
+divergence (exit 0 = identical, 1 = divergent, 2 = usage error).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .analysis import diagnose, diff_traces
 from .jsonl import TraceFormatError, dumps_record, load_jsonl
 from .trace_tools import (filter_records, render_timeline, summarize,
                           trigger_chain_timeline)
@@ -65,20 +71,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmd.add_argument("--t1", type=float, default=None,
                      help="ignore events after this sim time (us)")
 
+    cmd = commands.add_parser(
+        "doctor", help="diagnose protocol health from a trace")
+    _add_trace_arg(cmd)
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    cmd.add_argument("--horizon-us", type=float, default=None,
+                     help="airtime accounting horizon (defaults to the "
+                          "last event timestamp)")
+
+    cmd = commands.add_parser(
+        "diff", help="align two traces slot-by-slot, report divergence")
+    cmd.add_argument("trace_a", help="baseline trace (JSONL)")
+    cmd.add_argument("trace_b", help="candidate trace (JSONL)")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the diff as JSON instead of text")
+
     args = parser.parse_args(argv)
-    try:
-        records = _load(args.trace)
-    except OSError as exc:
-        print(f"error: cannot read {args.trace}: {exc.strerror or exc}",
-              file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.trace} is not JSONL (line {exc.lineno}: "
-              f"{exc.msg})", file=sys.stderr)
-        return 2
-    except TraceFormatError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    paths = ([args.trace_a, args.trace_b] if args.command == "diff"
+             else [args.trace])
+    loaded: List[List[dict]] = []
+    for path in paths:
+        try:
+            loaded.append(_load(path))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not JSONL (line {exc.lineno}: "
+                  f"{exc.msg})", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    records = loaded[0]
 
     try:
         if args.command == "summarize":
@@ -90,6 +117,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.last is not None:
                 timeline = [e for e in timeline if e.slot <= args.last]
             print(render_timeline(timeline))
+        elif args.command == "doctor":
+            report = diagnose(records, horizon_us=args.horizon_us)
+            if args.json:
+                print(json.dumps(report.to_json(), sort_keys=True, indent=2))
+            else:
+                print(report.render())
+        elif args.command == "diff":
+            result = diff_traces(records, loaded[1])
+            if args.json:
+                print(json.dumps(result.to_json(), sort_keys=True, indent=2))
+            else:
+                print(result.render())
+            if not result.identical:
+                return 1
         else:
             for record in filter_records(records, kind=args.kind,
                                          node=args.node, slot=args.slot,

@@ -1,0 +1,36 @@
+"""Diagnosis layer over traces and metrics — "the doctor".
+
+Three entry points:
+
+* :func:`diagnose` — one pass over a trace, out comes a typed
+  :class:`HealthReport` (trigger reliability, ROP decode health,
+  airtime accounting, per-flow fairness, plain-language findings);
+* :func:`diff_traces` — align two traces slot-by-slot and report the
+  first divergence (:class:`TraceDiff`);
+* the report/section dataclasses themselves, for tooling that wants
+  the numbers rather than the rendered text.
+
+Also reachable as ``RunResult.doctor()`` on a traced experiment run
+and as ``python -m repro.telemetry doctor / diff`` on exported JSONL.
+"""
+
+from .diff import SlotDivergence, TraceDiff, diff_traces
+from .doctor import diagnose
+from .reports import (AirtimeBucket, AirtimeReport, FlowHealth, FlowStats,
+                      HealthReport, LinkTriggerStats, RopHealth,
+                      TriggerHealth)
+
+__all__ = [
+    "AirtimeBucket",
+    "AirtimeReport",
+    "FlowHealth",
+    "FlowStats",
+    "HealthReport",
+    "LinkTriggerStats",
+    "RopHealth",
+    "SlotDivergence",
+    "TraceDiff",
+    "TriggerHealth",
+    "diagnose",
+    "diff_traces",
+]

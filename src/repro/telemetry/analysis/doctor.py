@@ -1,0 +1,266 @@
+"""The DOMINO doctor: turn a trace into a :class:`HealthReport`.
+
+:func:`diagnose` is a single pass over the record stream plus the
+existing trigger-chain reconstruction from
+:mod:`~repro.telemetry.trace_tools`.  It does not simulate anything
+and needs no topology object — everything is inferred from the trace,
+so it runs identically on a live recorder and on a JSONL file.
+
+The findings heuristics encode the failure modes the paper's design
+sections anticipate: missed signature detections (Sec. 3.2) degrade
+into backup-trigger fallbacks and, past the watchdog, into chain
+stalls; guard-tolerance violations and low SNR rot the ROP queue
+picture (Sec. 3.1); fake bursts keep chains alive but burn airtime.
+Thresholds are deliberately loose — the doctor flags "this run is not
+behaving like the calibrated protocol", not third-decimal noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..metrics import MetricsRegistry
+from ..trace_tools import trigger_chain_timeline
+from .reports import (AirtimeBucket, AirtimeReport, FlowHealth, FlowStats,
+                      HealthReport, LinkTriggerStats, RopHealth,
+                      TriggerHealth)
+
+#: Signature miss rate above which the trigger chain is flagged, given
+#: enough draws to mean something.
+MISS_RATE_THRESHOLD = 0.15
+MISS_RATE_MIN_DRAWS = 20
+#: Fraction of executed slots reached via backup before the chain is
+#: declared unreliable.
+FALLBACK_SLOT_THRESHOLD = 0.10
+#: Per-report ROP decode error above which polling is flagged.
+ROP_ERROR_THRESHOLD = 0.10
+#: Fake share of slotted (data + fake) airtime above which the
+#: schedule is flagged as padding instead of carrying traffic.
+FAKE_AIRTIME_THRESHOLD = 0.30
+
+
+def _trigger_health(records: List[dict]) -> TriggerHealth:
+    health = TriggerHealth()
+    links: Dict[Tuple[int, int], LinkTriggerStats] = {}
+    for record in records:
+        kind = record.get("ev")
+        if kind == "sig_detect":
+            health.draws += 1
+            link = links.get((record["src"], record["node"]))
+            if link is None:
+                link = links[(record["src"], record["node"])] = \
+                    LinkTriggerStats(src=record["src"], dst=record["node"])
+            link.draws += 1
+            if record["detected"]:
+                health.hits += 1
+                link.hits += 1
+            p = record.get("p")
+            if p is not None:
+                health.expected_hits += p
+                link.expected_hits += p
+        elif kind == "backup_trigger":
+            reason = record["reason"]
+            health.fallbacks_by_reason[reason] = \
+                health.fallbacks_by_reason.get(reason, 0) + 1
+    health.per_link = [links[key] for key in sorted(links)]
+
+    timeline = trigger_chain_timeline(records)
+    last_executed = max((e.slot for e in timeline if e.senders), default=-1)
+    for entry in timeline:
+        if entry.senders:
+            health.executed_slots += 1
+            if entry.fallback_used:
+                health.fallback_slots += 1
+            elif entry.signature_detected:
+                health.primary_slots += 1
+        elif ((entry.trigger_node is not None or entry.detected)
+              and entry.slot < last_executed):
+            # A duty burst targeted this slot but nobody ever executed
+            # it — the chain died here.  Slots past the last executed
+            # one are excluded: those are the horizon cutting the run
+            # off mid-chain, not a protocol failure.
+            health.stalled_slots.append(entry.slot)
+    return health
+
+
+def _rop_health(records: List[dict]) -> RopHealth:
+    health = RopHealth()
+    last_decode_t: Dict[int, float] = {}
+    gaps: List[float] = []
+    for record in records:
+        kind = record.get("ev")
+        if kind == "rop_poll":
+            health.polls += 1
+        elif kind == "rop_decode":
+            node = record["node"]
+            health.rounds += 1
+            health.rounds_by_ap[node] = health.rounds_by_ap.get(node, 0) + 1
+            health.reports_decoded += record["decoded"]
+            health.reports_failed += record["failed"]
+            health.low_snr += record.get("low_snr", 0)
+            health.blocked += record.get("blocked", 0)
+            offered = record["decoded"] + record["failed"]
+            if offered:
+                health.round_errors.append(record["failed"] / offered)
+            previous = last_decode_t.get(node)
+            if previous is not None:
+                gaps.append(record["t"] - previous)
+            last_decode_t[node] = record["t"]
+    if gaps:
+        health.staleness_mean_us = sum(gaps) / len(gaps)
+        health.staleness_max_us = max(gaps)
+    return health
+
+
+def _airtime_report(records: List[dict],
+                    horizon_us: Optional[float]) -> AirtimeReport:
+    report = AirtimeReport()
+    t_hi = 0.0
+    #: (src, frame kind, seq) -> airtime, for joining drops back to
+    #: their transmissions.
+    tx_airtime: Dict[Tuple[int, str, int], float] = {}
+    #: slot -> batch, from the controller's dispatch events.
+    slot_batch: Dict[int, int] = {}
+    for record in records:
+        if record.get("ev") == "sched_dispatch":
+            for slot in range(record["first_slot"], record["last_slot"] + 1):
+                slot_batch[slot] = record["batch"]
+    collided: Dict[Tuple[int, str, int], float] = {}
+    for record in records:
+        kind = record.get("ev")
+        t_hi = max(t_hi, record.get("t", 0.0))
+        if kind == "frame_tx":
+            frame = record["frame"]
+            bucket = report.by_kind.get(frame)
+            if bucket is None:
+                bucket = report.by_kind[frame] = AirtimeBucket()
+            bucket.frames += 1
+            bucket.airtime_us += record["airtime_us"]
+            tx_airtime[(record["node"], frame, record["seq"])] = \
+                record["airtime_us"]
+            slot = record.get("slot")
+            if slot is not None and slot in slot_batch:
+                batch = report.per_batch.setdefault(slot_batch[slot], {})
+                batch[frame] = batch.get(frame, 0.0) + record["airtime_us"]
+        elif kind == "frame_drop" and record["reason"] == "sinr":
+            key = (record["src"], record["frame"], record["seq"])
+            if key not in collided:
+                collided[key] = tx_airtime.get(key, 0.0)
+    report.collision_count = len(collided)
+    report.collision_airtime_us = sum(collided.values())
+    report.horizon_us = float(horizon_us) if horizon_us else t_hi
+    return report
+
+
+def _flow_health(records: List[dict]) -> FlowHealth:
+    health = FlowHealth()
+    # Radios record every locked frame, including ones addressed
+    # elsewhere (overhearing); join receptions back to the
+    # transmission's intended dst so only true endpoint deliveries
+    # count as flow traffic.
+    tx_dst: Dict[Tuple[int, int], Optional[int]] = {}
+    for record in records:
+        if record.get("ev") == "frame_tx" and record["frame"] == "data":
+            tx_dst[(record["node"], record["seq"])] = record["dst"]
+    delivered: Dict[Tuple[int, int], set] = {}
+    dropped: Dict[Tuple[int, int], int] = {}
+    for record in records:
+        kind = record.get("ev")
+        if kind not in ("frame_rx", "frame_drop") \
+                or record["frame"] != "data":
+            continue
+        if tx_dst.get((record["src"], record["seq"])) != record["node"]:
+            continue
+        if kind == "frame_rx":
+            delivered.setdefault((record["src"], record["node"]),
+                                 set()).add(record["seq"])
+        else:
+            key = (record["src"], record["node"])
+            dropped[key] = dropped.get(key, 0) + 1
+    for key in sorted(set(delivered) | set(dropped)):
+        src, dst = key
+        health.flows.append(FlowStats(
+            src=src, dst=dst, delivered=len(delivered.get(key, ())),
+            dropped=dropped.get(key, 0)))
+    counts = [flow.delivered for flow in health.flows]
+    if counts and any(counts):
+        square_of_sum = float(sum(counts)) ** 2
+        sum_of_squares = float(sum(c * c for c in counts))
+        health.fairness = square_of_sum / (len(counts) * sum_of_squares)
+    return health
+
+
+def _findings(trigger: TriggerHealth, rop: RopHealth,
+              airtime: AirtimeReport, flows: FlowHealth) -> List[str]:
+    findings: List[str] = []
+    # Order: most causally-upstream problem first — a bad trigger
+    # chain explains the fallbacks, the stalls and the lost airtime.
+    if (trigger.draws >= MISS_RATE_MIN_DRAWS
+            and trigger.miss_rate > MISS_RATE_THRESHOLD):
+        expected = trigger.expected_miss_rate
+        versus = (f" (calibrated model expects {100.0 * expected:.1f} %)"
+                  if trigger.expected_hits else "")
+        findings.append(
+            f"signature misses: {trigger.misses}/{trigger.draws} detection "
+            f"draws failed ({100.0 * trigger.miss_rate:.1f} %){versus} — "
+            f"trigger links are lossier than the protocol is tuned for")
+    if (trigger.executed_slots
+            and trigger.fallback_slots / trigger.executed_slots
+            > FALLBACK_SLOT_THRESHOLD):
+        findings.append(
+            f"backup-trigger fallbacks carried "
+            f"{trigger.fallback_slots}/{trigger.executed_slots} executed "
+            f"slots — the chain keeps dying and restarting via the "
+            f"watchdog, which stalls every slot in between")
+    if trigger.stalled_slots:
+        findings.append(
+            f"chain stalls: {len(trigger.stalled_slots)} scheduled slots "
+            f"never executed (first at slot {trigger.stalled_slots[0]}) — "
+            f"their airtime was simply lost")
+    if rop.offered and rop.decode_error > ROP_ERROR_THRESHOLD:
+        dominant = ("low SNR" if rop.low_snr >= rop.blocked
+                    else "guard-subcarrier blocking")
+        findings.append(
+            f"ROP decode error {100.0 * rop.decode_error:.1f} % "
+            f"({rop.reports_failed}/{rop.offered} reports, mostly "
+            f"{dominant}) — the controller is scheduling against a stale "
+            f"queue picture")
+    data = airtime.by_kind.get("data", AirtimeBucket()).airtime_us
+    fake = airtime.by_kind.get("fake", AirtimeBucket()).airtime_us
+    if (data + fake) > 0 and fake / (data + fake) > FAKE_AIRTIME_THRESHOLD:
+        findings.append(
+            f"fake bursts burned {100.0 * fake / (data + fake):.1f} % of "
+            f"slotted airtime — chains are being kept alive without "
+            f"payload to send")
+    if len(flows.flows) >= 2 and flows.fairness and flows.fairness < 0.6:
+        thin = min(flows.flows, key=lambda f: f.delivered)
+        findings.append(
+            f"fairness {flows.fairness:.2f} (Jain) across "
+            f"{len(flows.flows)} flows — flow {thin.src} -> {thin.dst} "
+            f"delivered only {thin.delivered} frames")
+    return findings
+
+
+def diagnose(records: Iterable[dict],
+             metrics: Optional[MetricsRegistry] = None,
+             horizon_us: Optional[float] = None) -> HealthReport:
+    """Diagnose a trace (live recorder records or loaded JSONL).
+
+    ``metrics`` optionally attaches a registry snapshot to the report
+    (live runs only — metrics are not part of exported traces).
+    ``horizon_us`` pins the airtime accounting horizon; without it the
+    last event timestamp is used, which understates idle time slightly.
+    """
+    records = [r for r in records if isinstance(r, dict) and "ev" in r]
+    trigger = _trigger_health(records)
+    rop = _rop_health(records)
+    airtime = _airtime_report(records, horizon_us)
+    flows = _flow_health(records)
+    times = [r.get("t", 0.0) for r in records]
+    return HealthReport(
+        trigger=trigger, rop=rop, airtime=airtime, flows=flows,
+        findings=_findings(trigger, rop, airtime, flows),
+        t0_us=min(times) if times else 0.0,
+        t1_us=max(times) if times else 0.0,
+        events=len(records),
+        metrics=metrics.snapshot() if metrics is not None else None)

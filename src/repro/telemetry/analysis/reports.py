@@ -1,0 +1,344 @@
+"""Typed health-report sections produced by the DOMINO doctor.
+
+Every section is a plain dataclass with two uniform capabilities:
+
+* ``to_json()`` — a JSON-serializable dict (nested sections included),
+  so reports can be archived next to the traces they came from;
+* ``render()`` — a human-readable block, composed by
+  :meth:`HealthReport.render` into the full doctor printout.
+
+The sections mirror how the paper itself reasons about protocol
+health: trigger-detection reliability (Fig. 9), backup-path usage and
+chain stalls (Fig. 10), ROP decode error (Figs. 5-6), airtime and
+fairness (Fig. 12).  Numbers here are *derived from the trace alone*
+(plus the optional metrics registry), so the doctor works identically
+on a live :class:`~repro.telemetry.TraceRecorder` and on a JSONL file
+loaded back days later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+def _pct(numerator: float, denominator: float) -> float:
+    return 100.0 * numerator / denominator if denominator else 0.0
+
+
+@dataclass
+class LinkTriggerStats:
+    """Signature-detection reliability of one trigger link (src → dst)."""
+
+    src: int                      # node whose duty burst carries the signature
+    dst: int                      # targeted next-slot sender
+    draws: int = 0
+    hits: int = 0
+    expected_hits: float = 0.0    # sum of model probabilities (v2 traces)
+
+    @property
+    def misses(self) -> int:
+        return self.draws - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.draws if self.draws else 0.0
+
+
+@dataclass
+class TriggerHealth:
+    """Trigger-chain reliability: primary fired / backup / stalled."""
+
+    draws: int = 0
+    hits: int = 0
+    expected_hits: float = 0.0
+    per_link: List[LinkTriggerStats] = field(default_factory=list)
+    #: Backup-path restarts by reason ("watchdog" / "initial").
+    fallbacks_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Slots that executed at all.
+    executed_slots: int = 0
+    #: Executed slots whose senders all had a successful detection draw.
+    primary_slots: int = 0
+    #: Executed slots reached through a backup path.
+    fallback_slots: int = 0
+    #: Slots a duty burst targeted that never executed (chain died there).
+    stalled_slots: List[int] = field(default_factory=list)
+
+    @property
+    def misses(self) -> int:
+        return self.draws - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.draws if self.draws else 0.0
+
+    @property
+    def expected_miss_rate(self) -> float:
+        """Miss rate the calibrated detection model predicts (v2 traces
+        record the per-draw probability; 0.0 when unavailable)."""
+        if not self.draws or not self.expected_hits:
+            return 0.0
+        return max(0.0, 1.0 - self.expected_hits / self.draws)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(self.fallbacks_by_reason.values())
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data.update(misses=self.misses, miss_rate=self.miss_rate,
+                    expected_miss_rate=self.expected_miss_rate,
+                    fallbacks=self.fallbacks)
+        return data
+
+    def render(self) -> str:
+        lines = ["trigger chain:"]
+        lines.append(
+            f"  signature draws      {self.hits}/{self.draws} detected "
+            f"({_pct(self.misses, self.draws):.1f} % missed, "
+            f"model expects {100.0 * self.expected_miss_rate:.1f} %)")
+        lines.append(
+            f"  slots executed       {self.executed_slots} "
+            f"({self.primary_slots} primary-triggered, "
+            f"{self.fallback_slots} via backup)")
+        fallbacks = ", ".join(f"{reason}={count}" for reason, count
+                              in sorted(self.fallbacks_by_reason.items()))
+        lines.append(f"  backup fallbacks     {self.fallbacks}"
+                     + (f" ({fallbacks})" if fallbacks else ""))
+        if self.stalled_slots:
+            shown = ", ".join(str(s) for s in self.stalled_slots[:12])
+            more = ("" if len(self.stalled_slots) <= 12
+                    else f" (+{len(self.stalled_slots) - 12} more)")
+            lines.append(f"  chain stalls         "
+                         f"{len(self.stalled_slots)} slots never executed: "
+                         f"{shown}{more}")
+        else:
+            lines.append("  chain stalls         none")
+        worst = [link for link in self.per_link if link.draws >= 5]
+        worst.sort(key=lambda link: link.miss_rate, reverse=True)
+        for link in worst[:3]:
+            if link.miss_rate > 0.0:
+                lines.append(
+                    f"  worst link           {link.src} -> {link.dst}: "
+                    f"{link.misses}/{link.draws} draws missed "
+                    f"({100.0 * link.miss_rate:.1f} %)")
+        return "\n".join(lines)
+
+
+@dataclass
+class RopHealth:
+    """ROP polling health: per-round decode error and queue staleness."""
+
+    polls: int = 0
+    rounds: int = 0               # decode rounds (rop_decode events)
+    reports_decoded: int = 0
+    reports_failed: int = 0
+    low_snr: int = 0              # failures attributed to wideband SNR
+    blocked: int = 0              # failures attributed to guard mismatch
+    #: Per-round decode error (failed / offered) samples.
+    round_errors: List[float] = field(default_factory=list)
+    rounds_by_ap: Dict[int, int] = field(default_factory=dict)
+    #: Inter-decode gap per AP, i.e. how stale the controller's queue
+    #: picture gets between refreshes (us).
+    staleness_mean_us: float = 0.0
+    staleness_max_us: float = 0.0
+
+    @property
+    def offered(self) -> int:
+        return self.reports_decoded + self.reports_failed
+
+    @property
+    def decode_error(self) -> float:
+        return self.reports_failed / self.offered if self.offered else 0.0
+
+    @property
+    def round_error_mean(self) -> float:
+        if not self.round_errors:
+            return 0.0
+        return sum(self.round_errors) / len(self.round_errors)
+
+    @property
+    def round_error_max(self) -> float:
+        return max(self.round_errors) if self.round_errors else 0.0
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        del data["round_errors"]          # raw samples stay out of JSON
+        data.update(offered=self.offered, decode_error=self.decode_error,
+                    round_error_mean=self.round_error_mean,
+                    round_error_max=self.round_error_max)
+        return data
+
+    def render(self) -> str:
+        lines = ["rop polling:"]
+        if not self.rounds and not self.polls:
+            lines.append("  (no polling activity in trace)")
+            return "\n".join(lines)
+        lines.append(f"  polls / decode rounds  {self.polls} / {self.rounds}")
+        lines.append(
+            f"  reports decoded        {self.reports_decoded}/{self.offered} "
+            f"(error {100.0 * self.decode_error:.1f} %: "
+            f"{self.low_snr} low-SNR, {self.blocked} guard-blocked)")
+        lines.append(
+            f"  per-round error        mean {100.0 * self.round_error_mean:.1f} % "
+            f"max {100.0 * self.round_error_max:.1f} %")
+        if self.staleness_mean_us:
+            lines.append(
+                f"  queue staleness        mean {self.staleness_mean_us / 1000.0:.2f} ms "
+                f"max {self.staleness_max_us / 1000.0:.2f} ms between decodes")
+        return "\n".join(lines)
+
+
+@dataclass
+class AirtimeBucket:
+    frames: int = 0
+    airtime_us: float = 0.0
+
+
+@dataclass
+class AirtimeReport:
+    """Where the channel time went: data vs. overhead vs. idle."""
+
+    horizon_us: float = 0.0
+    #: frame kind -> bucket ("data", "fake", "ack", "trigger", "poll",
+    #: "queue_report", "beacon").
+    by_kind: Dict[str, AirtimeBucket] = field(default_factory=dict)
+    #: Airtime of locked frames lost to SINR (collisions), joined back
+    #: to their transmissions.
+    collision_count: int = 0
+    collision_airtime_us: float = 0.0
+    #: Per-batch airtime of slotted frames (batch id -> kind -> us),
+    #: from the sched_dispatch slot ranges.
+    per_batch: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def busy_us(self) -> float:
+        return sum(bucket.airtime_us for bucket in self.by_kind.values())
+
+    @property
+    def idle_us(self) -> float:
+        """Channel time with nothing on the air.  Can undershoot when
+        transmissions overlap (spatial reuse keeps the sum of airtimes
+        above wall time)."""
+        return max(0.0, self.horizon_us - self.busy_us)
+
+    @property
+    def utilization(self) -> float:
+        """Summed airtime over the horizon; >1.0 means spatial reuse."""
+        return self.busy_us / self.horizon_us if self.horizon_us else 0.0
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data.update(busy_us=self.busy_us, idle_us=self.idle_us,
+                    utilization=self.utilization)
+        return data
+
+    def render(self) -> str:
+        lines = ["airtime:"]
+        order = ("data", "fake", "ack", "trigger", "poll", "queue_report",
+                 "beacon")
+        for kind in order:
+            bucket = self.by_kind.get(kind)
+            if bucket is None:
+                continue
+            lines.append(
+                f"  {kind:<14} {bucket.airtime_us / 1000.0:>9.3f} ms "
+                f"({_pct(bucket.airtime_us, self.horizon_us):5.1f} % of "
+                f"horizon, {bucket.frames} frames)")
+        lines.append(
+            f"  {'idle':<14} {self.idle_us / 1000.0:>9.3f} ms "
+            f"({_pct(self.idle_us, self.horizon_us):5.1f} % of horizon)")
+        lines.append(
+            f"  collisions     {self.collision_count} locked frames lost "
+            f"({self.collision_airtime_us / 1000.0:.3f} ms wasted)")
+        lines.append(f"  utilization    {self.utilization:.2f} "
+                     "(mean concurrent transmissions; >1 = spatial reuse)")
+        return "\n".join(lines)
+
+
+@dataclass
+class FlowStats:
+    src: int
+    dst: int
+    delivered: int = 0            # unique data frames received at dst
+    dropped: int = 0              # tracked receptions lost at dst
+
+
+@dataclass
+class FlowHealth:
+    """Per-flow delivery and Jain fairness, from frame_rx events.
+
+    Counts *unique* delivered data frames (retransmissions collapse on
+    the sequence number).  With the evaluation's equal payload sizes,
+    delivered-frame fairness equals throughput fairness.
+    """
+
+    flows: List[FlowStats] = field(default_factory=list)
+    fairness: float = 0.0
+
+    @property
+    def delivered(self) -> int:
+        return sum(flow.delivered for flow in self.flows)
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data.update(delivered=self.delivered)
+        return data
+
+    def render(self) -> str:
+        lines = ["flows:"]
+        if not self.flows:
+            lines.append("  (no data deliveries in trace)")
+            return "\n".join(lines)
+        lines.append(f"  {self.delivered} unique data frames over "
+                     f"{len(self.flows)} flows, "
+                     f"Jain fairness {self.fairness:.3f}")
+        ranked = sorted(self.flows, key=lambda f: f.delivered)
+        for flow in ranked[:2]:
+            lines.append(f"  thinnest flow        {flow.src} -> {flow.dst}: "
+                         f"{flow.delivered} delivered, {flow.dropped} drops")
+        return "\n".join(lines)
+
+
+@dataclass
+class HealthReport:
+    """The doctor's verdict: every section plus plain-language findings."""
+
+    trigger: TriggerHealth
+    rop: RopHealth
+    airtime: AirtimeReport
+    flows: FlowHealth
+    #: Human-readable anomalies, worst first; empty = healthy.
+    findings: List[str] = field(default_factory=list)
+    #: Trace span the report covers.
+    t0_us: float = 0.0
+    t1_us: float = 0.0
+    events: int = 0
+    #: Optional metrics-registry snapshot (live runs only).
+    metrics: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "t0_us": self.t0_us,
+            "t1_us": self.t1_us,
+            "events": self.events,
+            "trigger": self.trigger.to_json(),
+            "rop": self.rop.to_json(),
+            "airtime": self.airtime.to_json(),
+            "flows": self.flows.to_json(),
+            "findings": list(self.findings),
+            "metrics": self.metrics,
+        }
+
+    def render(self) -> str:
+        header = (f"DOMINO doctor — {self.events} events over "
+                  f"{(self.t1_us - self.t0_us) / 1000.0:.3f} ms "
+                  f"(t = {self.t0_us:.1f} .. {self.t1_us:.1f} us)")
+        blocks = [header, "", self.trigger.render(), "", self.rop.render(),
+                  "", self.airtime.render(), "", self.flows.render(), ""]
+        if self.findings:
+            blocks.append("findings:")
+            blocks.extend(f"  ! {finding}" for finding in self.findings)
+        else:
+            blocks.append("findings: none — protocol machinery looks healthy")
+        return "\n".join(blocks)

@@ -25,7 +25,13 @@ from typing import Dict, List, Optional, Type
 
 #: Bumped whenever a field is added/renamed; written into JSONL
 #: headers so tooling can refuse traces it does not understand.
-SCHEMA_VERSION = 1
+#:
+#: v2 (diagnosis fields): ``sig_detect`` gained ``p`` (the detection
+#: probability behind the draw) and ``rop_decode`` gained ``slot`` /
+#: ``low_snr`` / ``blocked``.  All v2 additions carry defaults, so v1
+#: traces still parse; files declaring a *newer* version are refused
+#: up front (see :mod:`~repro.telemetry.jsonl`).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,9 @@ class SignatureDetect(TraceEvent):
     sinr_db: float
     combined: int                  # signatures overlapping the burst
     detected: bool
+    #: Model probability behind the draw (v2); lets the doctor compare
+    #: the observed miss rate against the calibrated expectation.
+    p: Optional[float] = None
 
     KIND = "sig_detect"
 
@@ -172,6 +181,13 @@ class RopDecode(TraceEvent):
     node: int
     decoded: int
     failed: int
+    #: Polling slot the round belongs to (v2); aligns decode rounds
+    #: with the schedule for per-round error / staleness accounting.
+    slot: Optional[int] = None
+    #: Failure attribution (v2): reports lost to wideband SNR vs.
+    #: blocked by a louder adjacent subchannel (guard tolerance).
+    low_snr: int = 0
+    blocked: int = 0
 
     KIND = "rop_decode"
 

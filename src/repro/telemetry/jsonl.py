@@ -22,9 +22,14 @@ from .events import SCHEMA_VERSION
 #: First line of every exported trace.
 HEADER_KEY = "__domino_trace__"
 
+#: Explicit version field in the header (v2+).  v1 files carried the
+#: version as the value of :data:`HEADER_KEY` only; readers accept
+#: both spellings.
+VERSION_KEY = "schema_version"
+
 
 def header_record() -> dict:
-    return {HEADER_KEY: SCHEMA_VERSION}
+    return {HEADER_KEY: SCHEMA_VERSION, VERSION_KEY: SCHEMA_VERSION}
 
 
 def dumps_record(record: dict) -> str:
@@ -58,6 +63,27 @@ class TraceFormatError(ValueError):
     """The file is not a DOMINO trace, or its schema is unsupported."""
 
 
+def _check_version(version: object) -> None:
+    """Refuse traces this build cannot faithfully parse.
+
+    Older versions are fine — every schema addition since v1 carries a
+    default, so old records still round-trip.  *Newer* versions must
+    fail here, with one clean line, rather than deep inside
+    :func:`~repro.telemetry.events.from_record` on an unknown field.
+    """
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise TraceFormatError(
+            f"trace header carries a malformed schema version {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"trace schema v{version} is newer than this build supports "
+            f"(reads up to v{SCHEMA_VERSION}); upgrade the trace tooling"
+        )
+    if version < 1:
+        raise TraceFormatError(f"trace schema v{version} is not a known version")
+
+
 def read_jsonl(source: Union[str, IO[str]],
                require_header: bool = False) -> Iterator[dict]:
     """Yield records from a trace file or open stream.
@@ -78,12 +104,7 @@ def read_jsonl(source: Union[str, IO[str]],
         if first:
             first = False
             if HEADER_KEY in record:
-                version = record[HEADER_KEY]
-                if version != SCHEMA_VERSION:
-                    raise TraceFormatError(
-                        f"trace schema v{version} is not supported "
-                        f"(this build reads v{SCHEMA_VERSION})"
-                    )
+                _check_version(record.get(VERSION_KEY, record[HEADER_KEY]))
                 continue
             if require_header:
                 raise TraceFormatError("missing trace header line")

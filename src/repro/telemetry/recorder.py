@@ -14,35 +14,69 @@ the instrumentation costs one attribute load and one branch per site
 and nothing else.  ``benchmarks/test_telemetry_overhead.py`` keeps
 that honest (<5 % on a reference fig12 run).
 
-The typed helpers (``frame_tx`` .. ``batch_start``) build plain dicts
-matching the :mod:`~repro.telemetry.events` schema; set-valued fields
-are sorted here so exports are deterministic.
+The *enabled* path is kept cheap by deferring work off the simulation
+hot path: the typed helpers (``frame_tx`` .. ``batch_start``) append
+one flat tuple of raw field values to the ring buffer — no dict is
+built, nothing is sorted or rounded, the constant parts of a record
+(the ``ev`` strings, the field names) exist exactly once as interned
+module-level constants.  Records are materialized into the canonical
+dict schema of :mod:`~repro.telemetry.events` only when read back
+(``records()`` / ``events()`` / export), which is never inside the
+event loop.  The enabled-path budget is asserted by the same
+overhead benchmark (<20 %).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import IO, TYPE_CHECKING, Deque, Iterator, List, Optional
+from typing import (IO, TYPE_CHECKING, Deque, Iterator, List, Optional,
+                    Union)
 
 from . import jsonl
+from .events import EVENT_TYPES, required_fields
+from .log import get_logger
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - the recorder only duck-types
     from ..sim.packet import Frame  # Frame; no runtime sim dependency
 
 
+class _NullMetricsRegistry(MetricsRegistry):
+    """The registry behind :class:`NullRecorder`: records into the void.
+
+    Code that reaches ``recorder.metrics`` without a ``trace=`` opt-in
+    (or outside an ``activate()`` session) silently loses its numbers,
+    which is a classic source of "why is my counter zero" confusion —
+    so the first write logs one warning naming the metric, then stays
+    quiet.
+    """
+
+    _warned = False
+
+    def _get(self, name, cls, **kwargs):
+        if not _NullMetricsRegistry._warned:
+            _NullMetricsRegistry._warned = True
+            get_logger("telemetry").warning(
+                "telemetry is disabled: metric %r (and anything else "
+                "written to the null recorder) is discarded — activate "
+                "telemetry first, e.g. run_scheme(..., trace=True) or "
+                "telemetry.activate()", name)
+        return super()._get(name, cls, **kwargs)
+
+
 class NullRecorder:
     """Disabled telemetry: every operation is a no-op.
 
-    Carries a throwaway :class:`MetricsRegistry` so code that reaches
+    Carries a throwaway metrics registry so code that reaches
     ``recorder.metrics`` without checking ``enabled`` still works (it
-    records into the void); hot paths must check ``enabled`` first.
+    records into the void, and warns once when it does); hot paths
+    must check ``enabled`` first.
     """
 
     enabled = False
 
     def __init__(self) -> None:
-        self.metrics = MetricsRegistry()
+        self.metrics: MetricsRegistry = _NullMetricsRegistry()
 
     # -- generic sink ---------------------------------------------------
     def emit(self, record: dict) -> None:
@@ -58,7 +92,8 @@ class NullRecorder:
     def frame_drop(self, t, node, frame, reason):
         pass
 
-    def sig_detect(self, t, node, src, slot, sinr_db, combined, detected):
+    def sig_detect(self, t, node, src, slot, sinr_db, combined, detected,
+                   p=None):
         pass
 
     def trigger_fire(self, t, node, slot, targets, rop, polls):
@@ -73,7 +108,8 @@ class NullRecorder:
     def rop_poll(self, t, node, slot, poll_set):
         pass
 
-    def rop_decode(self, t, node, decoded, failed):
+    def rop_decode(self, t, node, decoded, failed, slot=None, low_snr=0,
+                   blocked=0):
         pass
 
     def sched_dispatch(self, t, batch, first_slot, last_slot, slots):
@@ -86,6 +122,39 @@ class NullRecorder:
 #: The one shared disabled recorder (what ``telemetry.current()``
 #: returns outside an activated session).
 NULL = NullRecorder()
+
+
+# ----------------------------------------------------------------------
+# Raw-tuple layout: (kind, *values) in schema field order.  Field-name
+# tuples are derived from the event dataclasses so the two can never
+# drift apart (test_every_helper_matches_its_schema pins this).
+# ----------------------------------------------------------------------
+_FIELDS = {kind: tuple(required_fields(kind)) for kind in EVENT_TYPES}
+
+Raw = Union[tuple, dict]
+
+
+def _materialize(raw: Raw) -> dict:
+    """One buffered entry as its canonical record dict.
+
+    Normalization deferred off the hot path happens here: set-valued
+    fields are sorted (exports must be deterministic), floats captured
+    at full precision are rounded to their schema width.
+    """
+    if type(raw) is dict:
+        return raw
+    kind = raw[0]
+    record = {"ev": kind}
+    record.update(zip(_FIELDS[kind], raw[1:]))
+    if kind == "sig_detect":
+        record["sinr_db"] = round(record["sinr_db"], 3)
+        if record["p"] is not None:
+            record["p"] = round(record["p"], 4)
+    elif kind == "trigger_fire":
+        record["targets"] = sorted(record["targets"])
+        record["polls"] = sorted(record["polls"])
+        record["rop"] = bool(record["rop"])
+    return record
 
 
 class TraceRecorder(NullRecorder):
@@ -111,17 +180,19 @@ class TraceRecorder(NullRecorder):
             raise ValueError("trace capacity must be positive")
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._events: Deque[dict] = deque(maxlen=capacity)
+        self._events: Deque[Raw] = deque(maxlen=capacity)
+        # Bound method cached: the hot helpers call it directly, so an
+        # emission is one append + one counter bump.  The maxlen deque
+        # evicts for us; ``evicted`` is derived, not counted inline.
+        self._append = self._events.append
         self.emitted = 0
-        self.evicted = 0
 
     # ------------------------------------------------------------------
     # Sink
     # ------------------------------------------------------------------
     def emit(self, record: dict) -> None:
-        if len(self._events) == self.capacity:
-            self.evicted += 1
-        self._events.append(record)
+        """Generic sink for pre-built record dicts (cold path)."""
+        self._append(record)
         self.emitted += 1
 
     def __len__(self) -> int:
@@ -132,88 +203,95 @@ class TraceRecorder(NullRecorder):
         # doing `if trace:` — emptiness is `len(recorder) == 0`.
         return True
 
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.emitted - len(self._events)
+
     def clear(self) -> None:
         self._events.clear()
         self.emitted = 0
-        self.evicted = 0
 
     # ------------------------------------------------------------------
-    # Typed helpers (hot path: build the record inline, no dataclass)
+    # Typed helpers (hot path: append one raw tuple, nothing else)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _slot_of(frame: Frame):
-        return frame.meta.get("slot")
-
-    def frame_tx(self, t: float, node: int, frame: Frame,
+    def frame_tx(self, t: float, node: int, frame: "Frame",
                  airtime_us: float) -> None:
-        self.emit({"ev": "frame_tx", "t": t, "node": node,
-                   "frame": frame.kind.value, "dst": frame.dst,
-                   "seq": frame.seq, "slot": self._slot_of(frame),
-                   "airtime_us": airtime_us})
+        self._append(("frame_tx", t, node, frame.kind.value, frame.dst,
+                      frame.seq, frame.meta.get("slot"), airtime_us))
+        self.emitted += 1
 
-    def frame_rx(self, t: float, node: int, frame: Frame) -> None:
-        self.emit({"ev": "frame_rx", "t": t, "node": node,
-                   "src": frame.src, "frame": frame.kind.value,
-                   "seq": frame.seq, "slot": self._slot_of(frame)})
+    def frame_rx(self, t: float, node: int, frame: "Frame") -> None:
+        self._append(("frame_rx", t, node, frame.src, frame.kind.value,
+                      frame.seq, frame.meta.get("slot")))
+        self.emitted += 1
 
-    def frame_drop(self, t: float, node: int, frame: Frame,
+    def frame_drop(self, t: float, node: int, frame: "Frame",
                    reason: str) -> None:
-        self.emit({"ev": "frame_drop", "t": t, "node": node,
-                   "src": frame.src, "frame": frame.kind.value,
-                   "seq": frame.seq, "slot": self._slot_of(frame),
-                   "reason": reason})
+        self._append(("frame_drop", t, node, frame.src, frame.kind.value,
+                      frame.seq, frame.meta.get("slot"), reason))
+        self.emitted += 1
 
     def sig_detect(self, t: float, node: int, src: int, slot: int,
-                   sinr_db: float, combined: int, detected: bool) -> None:
-        self.emit({"ev": "sig_detect", "t": t, "node": node, "src": src,
-                   "slot": slot, "sinr_db": round(sinr_db, 3),
-                   "combined": combined, "detected": detected})
+                   sinr_db: float, combined: int, detected: bool,
+                   p: Optional[float] = None) -> None:
+        self._append(("sig_detect", t, node, src, slot, sinr_db, combined,
+                      detected, p))
+        self.emitted += 1
 
     def trigger_fire(self, t: float, node: int, slot: int, targets,
                      rop: bool, polls) -> None:
-        self.emit({"ev": "trigger_fire", "t": t, "node": node,
-                   "slot": slot, "targets": sorted(targets),
-                   "rop": bool(rop), "polls": sorted(polls)})
+        # Sets are captured as-is (immutable frozensets in practice)
+        # and sorted at materialize time.
+        self._append(("trigger_fire", t, node, slot, tuple(targets), rop,
+                      tuple(polls)))
+        self.emitted += 1
 
     def backup_trigger(self, t: float, node: int, slot: int,
                        reason: str) -> None:
-        self.emit({"ev": "backup_trigger", "t": t, "node": node,
-                   "slot": slot, "reason": reason})
+        self._append(("backup_trigger", t, node, slot, reason))
+        self.emitted += 1
 
     def slot_exec(self, t: float, node: int, slot: int, dst: int,
                   fake: bool) -> None:
-        self.emit({"ev": "slot_exec", "t": t, "node": node, "slot": slot,
-                   "dst": dst, "fake": fake})
+        self._append(("slot_exec", t, node, slot, dst, fake))
+        self.emitted += 1
 
     def rop_poll(self, t: float, node: int, slot: int,
                  poll_set: int) -> None:
-        self.emit({"ev": "rop_poll", "t": t, "node": node, "slot": slot,
-                   "poll_set": poll_set})
+        self._append(("rop_poll", t, node, slot, poll_set))
+        self.emitted += 1
 
-    def rop_decode(self, t: float, node: int, decoded: int,
-                   failed: int) -> None:
-        self.emit({"ev": "rop_decode", "t": t, "node": node,
-                   "decoded": decoded, "failed": failed})
+    def rop_decode(self, t: float, node: int, decoded: int, failed: int,
+                   slot: Optional[int] = None, low_snr: int = 0,
+                   blocked: int = 0) -> None:
+        self._append(("rop_decode", t, node, decoded, failed, slot,
+                      low_snr, blocked))
+        self.emitted += 1
 
     def sched_dispatch(self, t: float, batch: int, first_slot: int,
                        last_slot: int, slots: int) -> None:
-        self.emit({"ev": "sched_dispatch", "t": t, "batch": batch,
-                   "first_slot": first_slot, "last_slot": last_slot,
-                   "slots": slots})
+        self._append(("sched_dispatch", t, batch, first_slot, last_slot,
+                      slots))
+        self.emitted += 1
 
     def batch_start(self, t: float, batch: int, node: int) -> None:
-        self.emit({"ev": "batch_start", "t": t, "batch": batch,
-                   "node": node})
+        self._append(("batch_start", t, batch, node))
+        self.emitted += 1
 
     # ------------------------------------------------------------------
     # Query / export
     # ------------------------------------------------------------------
+    def _materialized(self) -> Iterator[dict]:
+        for raw in self._events:
+            yield _materialize(raw)
+
     def events(self, kind: Optional[str] = None,
                node: Optional[int] = None,
                t0: Optional[float] = None,
                t1: Optional[float] = None) -> Iterator[dict]:
         """Iterate buffered records, optionally filtered."""
-        for record in self._events:
+        for record in self._materialized():
             if kind is not None and record.get("ev") != kind:
                 continue
             if node is not None and record.get("node") != node:
@@ -226,14 +304,14 @@ class TraceRecorder(NullRecorder):
             yield record
 
     def records(self) -> List[dict]:
-        return list(self._events)
+        return list(self._materialized())
 
     def export_jsonl(self, path: str) -> int:
         """Write the buffered trace to ``path`` (canonical JSONL)."""
-        return jsonl.dump_jsonl(path, self._events)
+        return jsonl.dump_jsonl(path, self._materialized())
 
     def write_jsonl(self, stream: IO[str]) -> int:
-        return jsonl.write_jsonl(stream, self._events)
+        return jsonl.write_jsonl(stream, self._materialized())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TraceRecorder({len(self)}/{self.capacity} buffered, "

@@ -1,0 +1,218 @@
+"""The doctor: health reports, trace diffing, CLI golden outputs.
+
+The golden tests pin the CLI's byte-exact output over the committed
+fixture trace (``fixtures/chain.jsonl``) — regenerate with the
+commands in ``fixtures/README`` after an intentional format change.
+
+The fig12 regression test is the acceptance check for the diagnosis
+layer: inject trigger loss into the T(10, 2) reference run and the
+doctor must attribute the throughput drop to backup-trigger fallbacks
+and chain stalls (not merely notice that throughput fell).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.trigger_model import TriggerDetectionModel
+from repro.experiments.common import run_scheme
+from repro.experiments.fig12_t10_2 import default_topology
+from repro.telemetry import __main__ as cli
+from repro.telemetry.analysis import diagnose, diff_traces
+from repro.telemetry.jsonl import load_jsonl
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def chain_records():
+    return load_jsonl(fixture("chain.jsonl"))
+
+
+class TestGoldenCli:
+    """CLI output over the committed fixture must match byte-for-byte."""
+
+    @pytest.mark.parametrize("command, golden", [
+        (["summarize"], "chain.summarize.txt"),
+        (["timeline"], "chain.timeline.txt"),
+        (["filter", "--kind", "sig_detect"], "chain.filter.jsonl"),
+        (["doctor"], "chain.doctor.txt"),
+    ])
+    def test_matches_golden(self, command, golden, capsys):
+        assert cli.main([command[0], fixture("chain.jsonl")]
+                        + command[1:]) == 0
+        with open(fixture(golden)) as handle:
+            expected = handle.read()
+        assert capsys.readouterr().out == expected
+
+
+class TestDiagnose:
+    def test_fixture_sections(self):
+        report = diagnose(chain_records())
+        assert report.events == 17
+
+        trigger = report.trigger
+        assert trigger.draws == 2 and trigger.hits == 1
+        assert trigger.miss_rate == 0.5
+        # v2 traces carry the model probability behind each draw.
+        assert trigger.expected_miss_rate == pytest.approx(0.325)
+        assert trigger.fallbacks_by_reason == {"watchdog": 1}
+        assert trigger.executed_slots == 3
+        assert trigger.primary_slots == 1 and trigger.fallback_slots == 1
+        assert trigger.stalled_slots == []
+        links = {(l.src, l.dst): l for l in trigger.per_link}
+        assert links[(1, 2)].hits == 1 and links[(2, 3)].hits == 0
+
+        rop = report.rop
+        assert rop.polls == 1 and rop.rounds == 2
+        assert rop.reports_decoded == 3 and rop.reports_failed == 1
+        assert rop.low_snr == 1 and rop.blocked == 0
+        assert rop.decode_error == 0.25
+        assert rop.round_errors == [0.5, 0.0]
+        assert rop.staleness_max_us == pytest.approx(1980.0)
+
+        airtime = report.airtime
+        assert airtime.by_kind["data"].frames == 2
+        assert airtime.by_kind["fake"].airtime_us == 400.0
+        # The collided frame joins back to its 400 us transmission.
+        assert airtime.collision_count == 1
+        assert airtime.collision_airtime_us == 400.0
+        assert airtime.per_batch == {
+            0: {"data": 800.0, "fake": 400.0, "queue_report": 16.0}}
+
+        flows = report.flows
+        assert [(f.src, f.dst, f.delivered, f.dropped)
+                for f in flows.flows] == [(1, 9, 1, 0), (3, 9, 0, 1)]
+        assert flows.fairness == pytest.approx(0.5)
+
+    def test_json_round_trips(self):
+        report = diagnose(chain_records())
+        data = json.loads(json.dumps(report.to_json()))
+        assert data["trigger"]["miss_rate"] == 0.5
+        assert data["rop"]["decode_error"] == 0.25
+        assert data["findings"] == report.findings
+
+    def test_horizon_pins_idle_accounting(self):
+        report = diagnose(chain_records(), horizon_us=10_000.0)
+        assert report.airtime.horizon_us == 10_000.0
+        assert report.airtime.idle_us == pytest.approx(
+            10_000.0 - report.airtime.busy_us)
+
+    def test_empty_trace(self):
+        report = diagnose([])
+        assert report.events == 0 and report.findings == []
+        assert "0 events" in report.render()
+
+    def test_stall_requires_later_execution(self):
+        # A targeted slot with no senders mid-run is a stall; the same
+        # situation at the trace tail is the horizon cutting the run.
+        burst = {"ev": "trigger_fire", "t": 1.0, "node": 1, "slot": 0,
+                 "targets": [2], "rop": False, "polls": []}
+        tail_only = diagnose([burst])
+        assert tail_only.trigger.stalled_slots == []
+        executed_later = diagnose([
+            burst,
+            {"ev": "slot_exec", "t": 9.0, "node": 3, "slot": 5, "dst": 9,
+             "fake": False},
+        ])
+        assert executed_later.trigger.stalled_slots == [1]
+
+
+class TestDiff:
+    def test_identical(self):
+        records = chain_records()
+        result = diff_traces(records, [dict(r) for r in records])
+        assert result.identical
+        assert result.first_divergence is None
+        assert result.first_record_mismatch is None
+        assert result.kind_deltas == {}
+        assert "identical" in result.render()
+
+    def test_first_divergent_slot(self):
+        a = chain_records()
+        b = [dict(r) for r in a]
+        # Flip slot 1's draw outcome in B: slot 2 is where behaviour
+        # forks (a slot-0 burst covers slot 1, a slot-1 draw slot 2).
+        for record in b:
+            if record["ev"] == "sig_detect" and record["slot"] == 1:
+                record["detected"] = True
+        result = diff_traces(a, b)
+        assert not result.identical
+        assert result.first_divergence.slot == 2
+        assert "MISS" in result.first_divergence.a
+        assert result.slots_divergent == 1
+        assert result.first_record_mismatch is not None
+
+    def test_record_mismatch_without_slot_divergence(self):
+        a = chain_records()
+        b = [dict(r) for r in a]
+        b[0] = dict(b[0], slots=99)   # sched_dispatch: not slot-mapped
+        result = diff_traces(a, b)
+        assert result.first_divergence is None
+        assert result.first_record_mismatch == 0
+        assert not result.identical
+
+    def test_length_mismatch_detected(self):
+        a = chain_records()
+        result = diff_traces(a, a[:-1])
+        assert result.first_record_mismatch == len(a) - 1
+        assert result.kind_deltas == {"rop_decode": -1}
+
+
+def _reference_run(trigger_model=None):
+    return run_scheme("domino", default_topology(), horizon_us=120_000.0,
+                      saturated=True, seed=1, trace=True,
+                      trigger_model=trigger_model)
+
+
+@pytest.fixture(scope="module")
+def healthy_run():
+    return _reference_run()
+
+
+@pytest.fixture(scope="module")
+def lossy_run():
+    return _reference_run(TriggerDetectionModel(
+        detection_by_combined={i: 0.45 for i in range(1, 13)}))
+
+
+class TestFig12Attribution:
+    """Acceptance: injected trigger loss must be *attributed*, not just
+    noticed — the doctor's findings name backup fallbacks and stalls."""
+
+    def test_lossy_run_attributed_to_backup_fallbacks(self, healthy_run,
+                                                      lossy_run):
+        assert lossy_run.aggregate_mbps < 0.7 * healthy_run.aggregate_mbps
+
+        healthy_report = healthy_run.doctor()
+        assert not any("backup-trigger" in f
+                       for f in healthy_report.findings)
+
+        report = lossy_run.doctor()
+        assert report.trigger.miss_rate > 0.4
+        assert report.trigger.fallbacks_by_reason.get("watchdog", 0) > 0
+        assert report.trigger.stalled_slots
+        joined = " ".join(report.findings)
+        assert "backup-trigger fallbacks" in joined
+        assert "chain stalls" in joined
+        # The report's own numbers carry the attribution: a large share
+        # of what did execute only ran because a backup path saved it.
+        assert (report.trigger.fallback_slots
+                / report.trigger.executed_slots) > 0.1
+
+    def test_diff_same_seed_identical_and_lossy_diverges(self, healthy_run,
+                                                         lossy_run):
+        rerun = _reference_run()
+        assert diff_traces(healthy_run.trace.records(),
+                           rerun.trace.records()).identical
+
+        result = diff_traces(healthy_run.trace.records(),
+                             lossy_run.trace.records())
+        assert not result.identical
+        assert result.first_divergence is not None
+        assert result.first_divergence.slot >= 0
+        assert result.kind_deltas.get("backup_trigger", 0) > 0

@@ -50,6 +50,19 @@ class TestPercentile:
         assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 95.0) == 4.0
 
+    def test_extreme_percentiles(self):
+        # pct=0 is the minimum, pct=100 the maximum — including for a
+        # single-sample list, where every percentile is that sample.
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 100.0) == 7.0
+        many = [1.0, 5.0, 9.0]
+        assert percentile(many, 0.0) == 1.0
+        assert percentile(many, 100.0) == 9.0
+        # Out-of-range pct clamps to the ends instead of indexing off
+        # the list.
+        assert percentile(many, -5.0) == 1.0
+        assert percentile(many, 250.0) == 9.0
+
 
 class TestHistogram:
     def test_summary_quantiles(self):

@@ -1,6 +1,7 @@
 """Recorder semantics: ring eviction, no-op path, activation, JSONL."""
 
 import io
+import logging
 
 import pytest
 
@@ -196,12 +197,29 @@ class TestJsonl:
         TraceRecorder().export_jsonl(path)
         with open(path) as handle:
             first = handle.readline().strip()
-        assert first == '{"__domino_trace__":1}'
+        assert first == '{"__domino_trace__":2,"schema_version":2}'
 
     def test_unsupported_schema_version_rejected(self):
         stream = io.StringIO('{"__domino_trace__":99}\n{"ev":"x","t":0}\n')
         with pytest.raises(jsonl.TraceFormatError):
             jsonl.load_jsonl(stream)
+
+    def test_newer_schema_version_rejected_with_clear_error(self):
+        stream = io.StringIO(
+            '{"__domino_trace__":2,"schema_version":99}\n{"ev":"x","t":0}\n')
+        with pytest.raises(jsonl.TraceFormatError) as err:
+            jsonl.load_jsonl(stream)
+        assert "newer than this build supports" in str(err.value)
+
+    def test_v1_header_still_accepted(self):
+        # v1 headers carry only the magic key; v2 fields all default.
+        stream = io.StringIO(
+            '{"__domino_trace__":1}\n'
+            '{"ev":"sig_detect","t":1.0,"node":2,"src":1,"slot":0,'
+            '"sinr_db":9.0,"combined":1,"detected":true}\n')
+        records = jsonl.load_jsonl(stream)
+        event = from_record(records[0])
+        assert event.detected is True and event.p is None
 
     def test_require_header(self):
         stream = io.StringIO('{"ev":"x","t":0}\n')
@@ -219,3 +237,50 @@ class TestJsonl:
         assert a == b == '{"a":2,"b":1}'
         with pytest.raises(ValueError):
             jsonl.dumps_record({"x": float("nan")})
+
+
+class TestNullMetricsWarning:
+    """Writing metrics to the disabled recorder warns once, then stays
+    quiet — the numbers go nowhere, and the user should hear about it
+    exactly one time per process."""
+
+    @pytest.fixture()
+    def captured(self):
+        from repro.telemetry.log import get_logger
+        from repro.telemetry.recorder import _NullMetricsRegistry
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = Capture()
+        logger = get_logger("telemetry")
+        logger.addHandler(handler)
+        previous = _NullMetricsRegistry._warned
+        _NullMetricsRegistry._warned = False
+        try:
+            yield records
+        finally:
+            logger.removeHandler(handler)
+            _NullMetricsRegistry._warned = previous
+
+    def test_warns_once_and_still_counts_into_the_void(self, captured):
+        recorder = NullRecorder()
+        recorder.metrics.counter("lost.frames").inc()
+        recorder.metrics.gauge("lost.depth").set(3)
+        recorder.metrics.counter("lost.frames").inc()
+
+        assert len(captured) == 1
+        message = captured[0].getMessage()
+        assert "lost.frames" in message and "discarded" in message
+        assert captured[0].levelno == logging.WARNING
+        # The registry still works — callers never crash, they just
+        # record into the void.
+        assert recorder.metrics.counter("lost.frames").value == 2.0
+
+    def test_enabled_recorder_never_warns(self, captured):
+        recorder = TraceRecorder()
+        recorder.metrics.counter("kept.frames").inc()
+        assert captured == []
