@@ -10,7 +10,13 @@ crossovers fall).
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Benches whose workload is a sweep honour ``SWEEP_WORKERS`` (worker
+processes per sweep; default 0 = serial in-process) — results are
+byte-identical either way, only the wall clock moves.
 """
+
+import os
 
 import pytest
 
@@ -24,3 +30,9 @@ def once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return runner
+
+
+@pytest.fixture
+def sweep_workers():
+    """Worker-pool size for sweep-shaped benches (0 = serial)."""
+    return int(os.environ.get("SWEEP_WORKERS", "0"))

@@ -9,8 +9,9 @@ every slot while the two conflicting downlinks alternate.
 from repro.experiments import fig02_motivation
 
 
-def test_fig02_motivation(once):
-    result = once(fig02_motivation.run, 800_000.0)
+def test_fig02_motivation(once, sweep_workers):
+    result = once(fig02_motivation.run, 800_000.0,
+                  workers=sweep_workers)
     print()
     print(fig02_motivation.report(result))
 

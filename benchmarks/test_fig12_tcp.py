@@ -10,8 +10,9 @@ from repro.experiments import fig12_t10_2
 UPLINK_RATES = (0.0, 10.0)
 
 
-def test_fig12_tcp(once):
-    result = once(fig12_t10_2.run, "tcp", UPLINK_RATES, 800_000.0)
+def test_fig12_tcp(once, sweep_workers):
+    result = once(fig12_t10_2.run, "tcp", UPLINK_RATES, 800_000.0,
+                  workers=sweep_workers)
     print()
     print(fig12_t10_2.report(result))
 

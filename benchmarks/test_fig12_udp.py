@@ -11,8 +11,9 @@ from repro.experiments import fig12_t10_2
 UPLINK_RATES = (0.0, 4.0, 10.0)
 
 
-def test_fig12_udp(once):
-    result = once(fig12_t10_2.run, "udp", UPLINK_RATES, 800_000.0)
+def test_fig12_udp(once, sweep_workers):
+    result = once(fig12_t10_2.run, "udp", UPLINK_RATES, 800_000.0,
+                  workers=sweep_workers)
     print()
     print(fig12_t10_2.report(result))
 

@@ -12,8 +12,9 @@ from repro.experiments import fig14_random
 N_RUNS = 12
 
 
-def test_fig14_random_cdf(once):
-    result = once(fig14_random.run, N_RUNS, 20, 3, 500_000.0)
+def test_fig14_random_cdf(once, sweep_workers):
+    result = once(fig14_random.run, N_RUNS, 20, 3, 500_000.0,
+                  workers=sweep_workers)
     print()
     print(fig14_random.report(result))
 

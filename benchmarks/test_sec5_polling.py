@@ -10,12 +10,14 @@ DCF's (paper: ~1.14x).
 from repro.experiments import sec5_polling
 
 
-def test_sec5_batch_size(once):
+def test_sec5_batch_size(once, sweep_workers):
     heavy, light = once(
         lambda: (sec5_polling.run_batch_size(sec5_polling.HEAVY_MBPS,
-                                             horizon_us=800_000.0),
+                                             horizon_us=800_000.0,
+                                             workers=sweep_workers),
                  sec5_polling.run_batch_size(sec5_polling.LIGHT_MBPS,
-                                             horizon_us=800_000.0))
+                                             horizon_us=800_000.0,
+                                             workers=sweep_workers))
     )
     print()
     print(sec5_polling.report_batch_size(heavy, light))
@@ -32,8 +34,9 @@ def test_sec5_batch_size(once):
         max(light_throughputs)
 
 
-def test_sec5_light_traffic(once):
-    result = once(sec5_polling.run_light_traffic, 2_000_000.0)
+def test_sec5_light_traffic(once, sweep_workers):
+    result = once(sec5_polling.run_light_traffic, 2_000_000.0,
+                  workers=sweep_workers)
     print()
     print(sec5_polling.report_light(result))
 

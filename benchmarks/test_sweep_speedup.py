@@ -1,0 +1,92 @@
+"""Sweep-engine speedup bench: serial vs. process-pool fan-out.
+
+Runs the fig14 random-network sweep (the runner's target shape: many
+independent mid-sized points) once serially and once across a worker
+pool, then asserts the engine's two promises:
+
+* **identity** — per-point canonical-trace digests are byte-identical
+  between the two runs, always, on any machine;
+* **speedup** — with >= 4 workers on a >= 4-core box the parallel run
+  finishes >= 2.5x faster (asserted only there: a 1- or 2-core CI
+  runner cannot physically show it, but still checks identity and
+  records its numbers).
+
+The worker count follows ``SWEEP_BENCH_WORKERS`` (default: 4 capped
+to the core count) so CI can pin a reproducible pool size.  Numbers
+land in ``BENCH_sweep.json`` (latest snapshot) and the
+``sweep_events_per_sec`` throughput metric joins the
+``BENCH_history.jsonl`` trend gate — a > 15 % drop against the
+recorded median fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.fig14_random import sweep_points
+from repro.runner import run_sweep
+
+import trend
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_sweep.json")
+
+N_RUNS = 4                        # placements; two points (dcf+domino) each
+M, N = 8, 2                       # T(8,2) keeps one point mid-sized
+HORIZON_US = 250_000.0
+MIN_SPEEDUP = 2.5
+SPEEDUP_WORKERS = 4               # the floor only applies at this scale
+
+
+def bench_points():
+    return sweep_points(n_runs=N_RUNS, m=M, n=N, horizon_us=HORIZON_US)
+
+
+def test_sweep_speedup_and_identity():
+    cores = os.cpu_count() or 1
+    workers = int(os.environ.get("SWEEP_BENCH_WORKERS",
+                                 min(SPEEDUP_WORKERS, cores)))
+    points = bench_points()
+
+    serial = run_sweep(points, workers=0, trace=True)
+    parallel = run_sweep(points, workers=workers, trace=True)
+
+    digests_identical = serial.digests() == parallel.digests()
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+
+    report = {
+        "workload": f"fig14 random T({M},{N}) x {N_RUNS} placements, "
+                    f"dcf+domino, horizon={HORIZON_US / 1000.0:.0f} ms",
+        "points": len(points),
+        "workers": workers,
+        "cores": cores,
+        "serial_s": round(serial.wall_s, 4),
+        "parallel_s": round(parallel.wall_s, 4),
+        "speedup": round(speedup, 4),
+        "total_events": serial.total_events,
+        "serial_events_per_sec": round(serial.events_per_sec, 1),
+        "parallel_events_per_sec": round(parallel.events_per_sec, 1),
+        "digests_identical": digests_identical,
+        "speedup_floor": MIN_SPEEDUP if (workers >= SPEEDUP_WORKERS
+                                         and cores >= SPEEDUP_WORKERS)
+        else None,
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    trend.append("sweep_speedup", {
+        "serial_s": round(serial.wall_s, 4),
+        "parallel_s": round(parallel.wall_s, 4),
+        "speedup": round(speedup, 4),
+        "sweep_events_per_sec": round(parallel.events_per_sec, 1),
+        "total_events": serial.total_events,
+    })
+
+    assert digests_identical, (
+        "parallel sweep diverged from serial", serial.digests(),
+        parallel.digests())
+    assert serial.total_events == parallel.total_events
+    if workers >= SPEEDUP_WORKERS and cores >= SPEEDUP_WORKERS:
+        assert speedup >= MIN_SPEEDUP, report

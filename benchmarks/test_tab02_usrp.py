@@ -9,8 +9,8 @@ because the exposed links run concurrently.
 from repro.experiments import tab02_usrp
 
 
-def test_tab02_usrp(once):
-    result = once(tab02_usrp.run, 60_000_000.0)
+def test_tab02_usrp(once, sweep_workers):
+    result = once(tab02_usrp.run, 60_000_000.0, workers=sweep_workers)
     print()
     print(tab02_usrp.report(result))
 

@@ -9,8 +9,8 @@ and DOMINO delivers the same throughput on both.
 from repro.experiments import tab03_exposed
 
 
-def test_tab03_exposed(once):
-    result = once(tab03_exposed.run, 800_000.0)
+def test_tab03_exposed(once, sweep_workers):
+    result = once(tab03_exposed.run, 800_000.0, workers=sweep_workers)
     print()
     print(tab03_exposed.report(result))
 

@@ -50,6 +50,7 @@ GATED_METRICS: Dict[str, str] = {
     "enabled_runtime_ratio": "lower",
     "disabled_overhead_fraction": "lower",
     "domino_mbps": "higher",
+    "sweep_events_per_sec": "higher",
 }
 
 #: History below this many prior entries is not gated — a median of

@@ -35,6 +35,7 @@ from ..topology.builder import Topology
 from ..topology.conflict_graph import build_conflict_graph
 from ..topology.links import Link
 from .coexistence import CoexistenceConfig, CoexistencePlanner
+from .conversion_cache import ConversionCache, conversion_topology_key
 from .converter import ConverterConfig, ScheduleConverter
 from .relative_schedule import (NodeProgram, RelativeBatch, TriggerDuty,
                                 build_programs)
@@ -99,9 +100,15 @@ class DominoController:
             # Sleeping clients must not be woken by fake filler.
             self.config.converter.fake_exclude_nodes = frozenset(
                 self.config.energy_constrained)
+        # Conversion memo: repeated backlog patterns (and the padded
+        # fake/poll skeleton under light load) skip fake insertion and
+        # trigger assignment entirely.  Keyed by a content hash of the
+        # control plane, so a campaign refresh invalidates by rekey.
+        self.conversion_cache = ConversionCache(conversion_topology_key(
+            self.rss_matrix, universe, self.config.converter))
         self.converter = ScheduleConverter(
             self.imap, self.graph, fake_candidates=universe,
-            config=self.config.converter,
+            config=self.config.converter, cache=self.conversion_cache,
         )
         self.known_queues: Dict[Link, float] = {l: 0.0 for l in universe}
         self._ap_links: Dict[int, List[Link]] = {}
@@ -400,9 +407,11 @@ class DominoController:
         self.graph = build_conflict_graph(self.imap, self.links)
         self.scheduler = RandScheduler(self.graph, self.links,
                                        set_check=self.imap.set_survives)
+        self.conversion_cache.set_topology(conversion_topology_key(
+            self.rss_matrix, self.links, self.config.converter))
         rebuilt = ScheduleConverter(
             self.imap, self.graph, fake_candidates=self.links,
-            config=self.config.converter,
+            config=self.config.converter, cache=self.conversion_cache,
         )
         # Global slot numbering and batch ids continue seamlessly.
         rebuilt._next_slot_index = self.converter._next_slot_index

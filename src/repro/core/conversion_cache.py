@@ -1,0 +1,186 @@
+"""Memoization of schedule conversion (the PR-2 profiler's control-
+plane hot spot).
+
+The converter's output is a pure function of
+
+* the **control plane**: measured RSS matrix, link universe and
+  converter config (together hashed into a *topology key* — rebuilt
+  after a measurement campaign, which naturally invalidates every
+  prior entry);
+* the **backlog-derived inputs** of one call: the padded strict
+  schedule, the ROP AP list and the per-AP association links;
+* the **connector** retained from the previous batch — only its entry
+  structure matters (``polls_after`` and duty bookkeeping are local to
+  each call), so it is keyed by ``(src, dst, fake)`` triples.
+
+Everything else the converter touches (``_next_slot_index``,
+``_batch_id``) only *renumbers* the output: slot indices shift by a
+constant and the batch id is whatever comes next.  A cache hit
+therefore replays a stored template by cloning it with shifted
+indices, which is exactly equal to running the conversion again
+(enforced by ``tests/core/test_conversion_cache.py``).
+
+Steady traffic makes this pay off quickly: under both saturation and
+light load the scheduler settles into repeating strict batches (light
+load is the extreme case — every padded batch is the same fake/poll
+skeleton), so repeated controller epochs skip fake-link insertion and
+trigger assignment entirely.
+
+Hit/miss counts are exposed both as plain attributes and, when a
+telemetry session is active, as ``converter.cache.hits`` /
+``converter.cache.misses`` counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..topology.links import Link
+from .relative_schedule import RelativeBatch, RelativeSlot, TriggerDuty
+
+
+def conversion_topology_key(rss_matrix: np.ndarray, links: Sequence[Link],
+                            config) -> str:
+    """Content hash of the control-plane state conversion depends on.
+
+    Covers the measured RSS matrix (the interference map and the
+    conflict graph are deterministic functions of it), the link
+    universe (ordering matters: fake candidates are tried in order)
+    and the converter knobs.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(rss_matrix).tobytes())
+    for link in links:
+        digest.update(b"%d,%d;" % (link.src, link.dst))
+    digest.update(repr((
+        config.max_inbound, config.max_outbound, config.insert_fakes,
+        config.insert_rop, tuple(sorted(config.fake_exclude_nodes)),
+    )).encode())
+    return digest.hexdigest()
+
+
+def clone_batch(batch: RelativeBatch, delta: int = 0,
+                batch_id: Optional[int] = None) -> RelativeBatch:
+    """Deep-enough copy of a batch with every slot index shifted.
+
+    Frozen leaves (:class:`SlotEntry`, link objects, frozensets) are
+    shared; every mutable container is fresh, so neither the caller
+    nor later converter calls can corrupt a stored template.
+    """
+    if delta == 0:
+        duties = dict(batch.duties)
+    else:
+        duties = {
+            (node, slot + delta): TriggerDuty(
+                node=duty.node, slot=duty.slot + delta,
+                targets=duty.targets, rop_polls=duty.rop_polls,
+                rop_flag=duty.rop_flag)
+            for (node, slot), duty in batch.duties.items()
+        }
+    return RelativeBatch(
+        batch_id=batch.batch_id if batch_id is None else batch_id,
+        slots=[RelativeSlot(index=slot.index + delta,
+                            entries=list(slot.entries),
+                            rop_after=list(slot.rop_after))
+               for slot in batch.slots],
+        duties=duties,
+        inbound={(slot + delta, link): list(nodes)
+                 for (slot, link), nodes in batch.inbound.items()},
+        rop_polls={slot + delta: list(aps)
+                   for slot, aps in batch.rop_polls.items()},
+        initial=batch.initial,
+        untriggerable=[(slot + delta, link)
+                       for slot, link in batch.untriggerable],
+    )
+
+
+@dataclass
+class CachedConversion:
+    """One stored conversion, in the slot numbering of its first run."""
+
+    #: ``_next_slot_index`` when the template was converted; a replay
+    #: shifts every index by ``current_next_slot_index - base``.
+    base: int
+    #: How many new slot indices the conversion consumed.
+    n_new_slots: int
+    batch: RelativeBatch
+    #: AP ids the conversion appended to the *incoming* connector
+    #: slot's ``rop_after`` (an ROP slot interposed right after the
+    #: connector mutates the previous batch's last slot); a replay
+    #: must reproduce that side effect on the live connector.
+    connector_rop_append: List[int]
+
+
+class ConversionCache:
+    """Bounded FIFO memo of strict-to-relative conversions.
+
+    One instance is shared across a controller's converter rebuilds;
+    :meth:`set_topology` swaps the topology key after a measurement
+    campaign so stale entries simply stop matching (and eventually
+    fall out of the FIFO bound).
+    """
+
+    def __init__(self, topology_key: str = "", max_entries: int = 256):
+        self.topology_key = topology_key
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, CachedConversion]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._trace = telemetry.current()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def set_topology(self, topology_key: str) -> None:
+        """Invalidate by rekeying: entries under the old control-plane
+        hash can never match again."""
+        self.topology_key = topology_key
+
+    def key(self, connector: Optional[RelativeSlot], strict,
+            rop_aps: Sequence[int],
+            ap_links: Optional[Dict[int, List[Link]]]) -> tuple:
+        connector_key = None if connector is None else tuple(
+            (entry.link.src, entry.link.dst, entry.fake)
+            for entry in connector.entries)
+        strict_key = tuple(
+            tuple((link.src, link.dst) for link in slot) for slot in strict)
+        links_key = () if not ap_links else tuple(sorted(
+            (ap, tuple((link.src, link.dst) for link in links))
+            for ap, links in ap_links.items()))
+        return (self.topology_key, connector_key, strict_key,
+                tuple(rop_aps), links_key)
+
+    def get(self, key: tuple) -> Optional[CachedConversion]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if self._trace.enabled:
+                self._trace.metrics.counter("converter.cache.misses").inc()
+            return None
+        self.hits += 1
+        if self._trace.enabled:
+            self._trace.metrics.counter("converter.cache.hits").inc()
+        return entry
+
+    def put(self, key: tuple, base: int, n_new_slots: int,
+            batch: RelativeBatch, connector_rop_append: List[int]) -> None:
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+        self._entries[key] = CachedConversion(
+            base=base, n_new_slots=n_new_slots,
+            batch=clone_batch(batch),
+            connector_rop_append=list(connector_rop_append))
+        if self._trace.enabled:
+            self._trace.metrics.gauge("converter.cache.entries").set(
+                len(self._entries))

@@ -37,6 +37,7 @@ import networkx as nx
 from ..sched.interference_map import InterferenceMap
 from ..sched.strict_schedule import StrictSchedule
 from ..topology.links import Link
+from .conversion_cache import CachedConversion, ConversionCache, clone_batch
 from .relative_schedule import (RelativeBatch, RelativeSlot, SlotEntry,
                                 TriggerDuty)
 
@@ -92,11 +93,17 @@ class ScheduleConverter:
 
     def __init__(self, imap: InterferenceMap, conflict_graph: nx.Graph,
                  fake_candidates: Sequence[Link],
-                 config: Optional[ConverterConfig] = None):
+                 config: Optional[ConverterConfig] = None,
+                 cache: Optional["ConversionCache"] = None):
         self.imap = imap
         self.graph = conflict_graph
         self.fake_candidates = list(fake_candidates)
         self.config = config if config is not None else ConverterConfig()
+        #: Optional conversion memo (see repro.core.conversion_cache).
+        #: The cache outlives the converter: the controller hands the
+        #: same instance to every rebuilt converter and rekeys it when
+        #: the control plane changes.
+        self.cache = cache
         self._connector: Optional[RelativeSlot] = None
         self._next_slot_index = 0
         self._batch_id = 0
@@ -122,6 +129,17 @@ class ScheduleConverter:
         ``ap_links`` maps each such AP to its association links (for
         the ROP-slot sharing test).
         """
+        cache = self.cache
+        key = None
+        if cache is not None:
+            key = cache.key(self._connector, strict, rop_aps, ap_links)
+            template = cache.get(key)
+            if template is not None:
+                return self._replay(template)
+        base = self._next_slot_index
+        incoming_connector = self._connector
+        connector_rop_len = (len(incoming_connector.rop_after)
+                             if incoming_connector is not None else 0)
         batch = RelativeBatch(batch_id=self._batch_id,
                               initial=self._connector is None)
         self._batch_id += 1
@@ -154,6 +172,31 @@ class ScheduleConverter:
         if own_slots:
             self._connector = own_slots[-1]
         batch.validate()
+        if cache is not None:
+            appended = ([] if incoming_connector is None else
+                        list(incoming_connector.rop_after[connector_rop_len:]))
+            cache.put(key, base, self._next_slot_index - base, batch,
+                      appended)
+        return batch
+
+    def _replay(self, template: "CachedConversion") -> RelativeBatch:
+        """Reissue a cached conversion under the current numbering.
+
+        Equivalent to running :meth:`convert` again on the same
+        inputs: slot indices shift by however far the global counter
+        has advanced since the template was built, the batch takes the
+        next batch id, and the ROP polls the original run appended to
+        its incoming connector are appended to the live one.
+        """
+        delta = self._next_slot_index - template.base
+        batch = clone_batch(template.batch, delta=delta,
+                            batch_id=self._batch_id)
+        self._batch_id += 1
+        self._next_slot_index += template.n_new_slots
+        if self._connector is not None and template.connector_rop_append:
+            self._connector.rop_after.extend(template.connector_rop_append)
+        if batch.slots:
+            self._connector = batch.slots[-1]
         return batch
 
     # ------------------------------------------------------------------

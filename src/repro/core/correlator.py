@@ -95,11 +95,12 @@ class SignatureDetector:
         length = len(code)
         max_delay = min(self.floor_window_chips,
                         max(0, len(samples) - length))
-        profile = np.empty(max_delay + 1)
-        for delay in range(max_delay + 1):
-            window = samples[delay:delay + length]
-            profile[delay] = abs(np.dot(window, code)) / length
-        return profile
+        # All delay hypotheses in one matrix-vector product over a
+        # stride-tricked view: no per-delay Python loop, no window
+        # copies.  The view is (max_delay+1, length) into `samples`.
+        windows = np.lib.stride_tricks.sliding_window_view(
+            samples[:max_delay + length], length)
+        return np.abs(windows @ code) / length
 
     def correlate(self, samples: np.ndarray, code: np.ndarray) -> Tuple[float, int]:
         """Best |correlation|/L within the search window; (peak, delay)."""

@@ -101,6 +101,15 @@ class GoldFamily:
     degree: int
     codes: Tuple[Tuple[float, ...], ...]
 
+    def __post_init__(self) -> None:
+        # Per-index ndarray templates, built lazily: correlator banks
+        # probe the same handful of codes thousands of times per
+        # experiment, and rebuilding a 127-chip array from the tuple on
+        # every call dominates the detection hot path.  Arrays are
+        # handed out read-only so the shared templates cannot be
+        # corrupted by a caller.
+        object.__setattr__(self, "_templates", {})
+
     @property
     def length(self) -> int:
         return (1 << self.degree) - 1
@@ -115,7 +124,12 @@ class GoldFamily:
         return self.family_size - 2
 
     def code(self, index: int) -> np.ndarray:
-        return np.asarray(self.codes[index], dtype=np.float64)
+        template = self._templates.get(index)
+        if template is None:
+            template = np.asarray(self.codes[index], dtype=np.float64)
+            template.setflags(write=False)
+            self._templates[index] = template
+        return template
 
     @property
     def start_code(self) -> np.ndarray:

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.experiments            # full report to stdout
     python -m repro.experiments --quick    # reduced runs/horizons
-    python -m repro.experiments --out report.txt
+    python -m repro.experiments --out out/report.txt
 
 The per-experiment modules remain individually runnable
 (``python -m repro.experiments.fig02_motivation`` etc.); this driver
@@ -14,6 +14,7 @@ strings them together in paper order and stamps each section.
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 from ..telemetry import get_logger
@@ -83,7 +84,8 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced horizons and run counts")
     parser.add_argument("--out", type=str, default=None,
-                        help="also write the report to this file")
+                        help="also write the report to this file "
+                             "(reports belong under the untracked out/)")
     args = parser.parse_args(argv)
 
     log = get_logger("experiments")
@@ -103,6 +105,9 @@ def main(argv=None) -> int:
         print(chunk)
         chunks.append(chunk)
     if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
         with open(args.out, "w") as handle:
             handle.write("\n".join(chunks))
         log.info("report written to %s", args.out)

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..runner import TopologySpec, run_sweep, scheme_sweep
 from ..topology.builder import fig1_topology
 from ..topology.links import Link
-from .common import RunResult, format_table, run_scheme
+from .common import format_table
 
 SCHEMES = ("dcf", "centaur", "domino", "omniscient")
 
@@ -29,14 +30,15 @@ class Fig2Result:
         return self.overall_mbps[scheme] / base if base else float("inf")
 
 
-def run(horizon_us: float = 1_000_000.0, seed: int = 1) -> Fig2Result:
+def run(horizon_us: float = 1_000_000.0, seed: int = 1,
+        workers: int = 0) -> Fig2Result:
+    sweep = run_sweep(
+        scheme_sweep(SCHEMES, TopologySpec(fig1_topology),
+                     horizon_us=horizon_us, seed=seed, saturated=True),
+        workers=workers)
+    topology = fig1_topology()
     result = Fig2Result()
-    for scheme in SCHEMES:
-        topology = fig1_topology()
-        run_result: RunResult = run_scheme(
-            scheme, topology, horizon_us=horizon_us, saturated=True,
-            seed=seed,
-        )
+    for scheme, run_result in zip(SCHEMES, sweep.points):
         result.per_link_mbps[scheme] = {
             flow: run_result.flow_mbps(flow) for flow in topology.flows
         }

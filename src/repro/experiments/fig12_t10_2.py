@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..runner import ExperimentPoint, TopologySpec, run_sweep
 from ..topology.builder import Topology, build_t_topology
 from ..topology.trace import two_building_trace
-from .common import format_table, run_scheme
+from .common import format_table
 
 SCHEMES = ("domino", "centaur", "dcf")
 DEFAULT_UPLINK_RATES = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
@@ -50,23 +51,41 @@ def default_topology(seed: int = 3) -> Topology:
     return build_t_topology(two_building_trace(), 10, 2, seed=seed)
 
 
+def sweep_points(transport: str = "udp",
+                 uplink_rates: Tuple[float, ...] = DEFAULT_UPLINK_RATES,
+                 horizon_us: float = 1_000_000.0,
+                 seed: int = 1,
+                 topology_seed: int = 3) -> List[ExperimentPoint]:
+    """The Fig. 12 sweep as runner points (one per rate x scheme)."""
+    return [
+        ExperimentPoint(
+            scheme=scheme,
+            topology=TopologySpec(default_topology, (topology_seed,)),
+            label=f"{uplink:g}:{scheme}", seed=seed, horizon_us=horizon_us,
+            run_kwargs={"downlink_mbps": 10.0, "uplink_mbps": uplink,
+                        "tcp": transport == "tcp"})
+        for uplink in uplink_rates for scheme in SCHEMES
+    ]
+
+
 def run(transport: str = "udp",
         uplink_rates: Tuple[float, ...] = DEFAULT_UPLINK_RATES,
         horizon_us: float = 1_000_000.0,
         seed: int = 1,
-        topology_seed: int = 3) -> Fig12Result:
+        topology_seed: int = 3,
+        workers: int = 0) -> Fig12Result:
     if transport not in ("udp", "tcp"):
         raise ValueError("transport must be 'udp' or 'tcp'")
+    sweep = run_sweep(
+        sweep_points(transport, uplink_rates, horizon_us, seed,
+                     topology_seed),
+        workers=workers)
+    by_label = sweep.by_label()
     result = Fig12Result(transport=transport)
     for uplink in uplink_rates:
         point = SweepPoint(uplink_mbps=uplink)
         for scheme in SCHEMES:
-            topology = default_topology(topology_seed)
-            run_result = run_scheme(
-                scheme, topology, horizon_us=horizon_us,
-                downlink_mbps=10.0, uplink_mbps=uplink,
-                tcp=(transport == "tcp"), seed=seed,
-            )
+            run_result = by_label[f"{uplink:g}:{scheme}"]
             point.throughput_mbps[scheme] = run_result.aggregate_mbps
             point.delay_us[scheme] = run_result.mean_delay_us
             point.fairness[scheme] = run_result.fairness

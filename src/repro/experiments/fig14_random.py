@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..runner import ExperimentPoint, TopologySpec, run_sweep
 from ..topology.builder import random_t_topology
-from .common import format_table, run_scheme
+from .common import format_table
 
 
 @dataclass
@@ -39,25 +40,47 @@ class Fig14Result:
         return [(g, (i + 1) / n) for i, g in enumerate(ordered)]
 
 
+def sweep_points(n_runs: int = 50, m: int = 20, n: int = 3,
+                 horizon_us: float = 600_000.0,
+                 downlink_mbps: float = 10.0, uplink_mbps: float = 10.0,
+                 seed0: int = 100) -> List[ExperimentPoint]:
+    """The Fig. 14 sweep as runner points: DCF and DOMINO per placement.
+
+    Also the workload of ``benchmarks/test_sweep_speedup.py`` — many
+    independent mid-sized points is the sweep engine's target shape.
+    """
+    return [
+        ExperimentPoint(
+            scheme=scheme,
+            topology=TopologySpec(random_t_topology, (m, n),
+                                  {"seed": seed0 + i}),
+            label=f"{scheme}:{i}", seed=seed0 + i, horizon_us=horizon_us,
+            run_kwargs={"downlink_mbps": downlink_mbps,
+                        "uplink_mbps": uplink_mbps})
+        for i in range(n_runs) for scheme in ("dcf", "domino")
+    ]
+
+
 def run(n_runs: int = 50, m: int = 20, n: int = 3,
         horizon_us: float = 600_000.0,
         downlink_mbps: float = 10.0, uplink_mbps: float = 10.0,
-        seed0: int = 100) -> Fig14Result:
+        seed0: int = 100, workers: int = 0) -> Fig14Result:
     """Gains over ``n_runs`` random placements.
 
     The paper repeats 50 times with UDP traffic; reduce ``n_runs`` for
-    quick benches.  Topology carving occasionally needs a re-draw on
+    quick benches, or raise ``workers`` to fan the placements out over
+    a process pool.  Topology carving occasionally needs a re-draw on
     very sparse placements; ``random_t_topology`` handles that.
     """
+    sweep = run_sweep(
+        sweep_points(n_runs, m, n, horizon_us, downlink_mbps, uplink_mbps,
+                     seed0),
+        workers=workers)
+    by_label = sweep.by_label()
     result = Fig14Result()
     for i in range(n_runs):
-        topology = random_t_topology(m, n, seed=seed0 + i)
-        dcf = run_scheme("dcf", topology, horizon_us=horizon_us,
-                         downlink_mbps=downlink_mbps,
-                         uplink_mbps=uplink_mbps, seed=seed0 + i)
-        domino = run_scheme("domino", topology, horizon_us=horizon_us,
-                            downlink_mbps=downlink_mbps,
-                            uplink_mbps=uplink_mbps, seed=seed0 + i)
+        dcf = by_label[f"dcf:{i}"]
+        domino = by_label[f"domino:{i}"]
         if dcf.aggregate_mbps > 0:
             result.gains.append(domino.aggregate_mbps / dcf.aggregate_mbps)
     return result

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..core import ControllerConfig
-from ..topology.builder import build_t_topology
+from ..runner import ExperimentPoint, TopologySpec, run_sweep
+from ..topology.builder import Topology, build_t_topology
 from ..topology.trace import two_building_trace
-from .common import format_table, run_scheme
+from .common import format_table
 
 # Batch sizes start at 8: below that the per-batch polling slots
 # dominate the duty cycle and both load regimes degrade together,
@@ -54,19 +55,38 @@ class BatchSizeResult:
         return self.points[-1].throughput_mbps / self.points[0].throughput_mbps
 
 
+def sweep_topology() -> Topology:
+    """The T(10,2) carve the batch-size sweep runs on (picklable)."""
+    return build_t_topology(two_building_trace(), 10, 2, seed=3)
+
+
+def light_topology() -> Topology:
+    """T(6,5) needs 36 of the 40 trace nodes; the carve only packs
+    with a slightly looser association threshold than the dense
+    default (the paper's trace evidently supported it directly)."""
+    trace = two_building_trace()
+    trace.comm_threshold_dbm = -70.0
+    return build_t_topology(trace, 6, 5, seed=5)
+
+
 def run_batch_size(rate_mbps: float,
                    batch_sizes: Tuple[int, ...] = BATCH_SIZES,
                    horizon_us: float = 1_000_000.0,
-                   seed: int = 1) -> BatchSizeResult:
+                   seed: int = 1, workers: int = 0) -> BatchSizeResult:
+    points = [
+        ExperimentPoint(
+            scheme="domino", topology=TopologySpec(sweep_topology),
+            label=str(batch_slots), seed=seed, horizon_us=horizon_us,
+            run_kwargs={"downlink_mbps": rate_mbps,
+                        "uplink_mbps": rate_mbps,
+                        "domino_config": ControllerConfig(
+                            batch_slots=batch_slots,
+                            demand_cap=batch_slots)})
+        for batch_slots in batch_sizes
+    ]
+    sweep = run_sweep(points, workers=workers)
     result = BatchSizeResult(rate_mbps=rate_mbps)
-    for batch_slots in batch_sizes:
-        topology = build_t_topology(two_building_trace(), 10, 2, seed=3)
-        config = ControllerConfig(batch_slots=batch_slots,
-                                  demand_cap=batch_slots)
-        run_result = run_scheme("domino", topology, horizon_us=horizon_us,
-                                downlink_mbps=rate_mbps,
-                                uplink_mbps=rate_mbps, seed=seed,
-                                domino_config=config)
+    for batch_slots, run_result in zip(batch_sizes, sweep.points):
         result.points.append(BatchSizePoint(
             batch_slots=batch_slots,
             throughput_mbps=run_result.aggregate_mbps,
@@ -90,21 +110,19 @@ class LightTrafficResult:
 
 
 def run_light_traffic(horizon_us: float = 2_000_000.0,
-                      seed: int = 1) -> LightTrafficResult:
+                      seed: int = 1,
+                      workers: int = 0) -> LightTrafficResult:
     """T(6,5) at 6 KBps (= 0.048 Mbps) per flow, as in Sec. 5."""
     rate_mbps = 6.0 * 8.0 / 1000.0  # 6 KBps
-    results = {}
-    for scheme in ("domino", "dcf"):
-        # T(6,5) needs 36 of the 40 trace nodes; the carve only packs
-        # with a slightly looser association threshold than the dense
-        # default (the paper's trace evidently supported it directly).
-        trace = two_building_trace()
-        trace.comm_threshold_dbm = -70.0
-        topology = build_t_topology(trace, 6, 5, seed=5)
-        results[scheme] = run_scheme(scheme, topology,
-                                     horizon_us=horizon_us,
-                                     downlink_mbps=rate_mbps,
-                                     uplink_mbps=rate_mbps, seed=seed)
+    points = [
+        ExperimentPoint(
+            scheme=scheme, topology=TopologySpec(light_topology),
+            label=scheme, seed=seed, horizon_us=horizon_us,
+            run_kwargs={"downlink_mbps": rate_mbps,
+                        "uplink_mbps": rate_mbps})
+        for scheme in ("domino", "dcf")
+    ]
+    results = run_sweep(points, workers=workers).by_label()
     return LightTrafficResult(
         domino_delay_us=results["domino"].mean_delay_us,
         dcf_delay_us=results["dcf"].mean_delay_us,

@@ -18,8 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..core import ControllerConfig
+from ..runner import ExperimentPoint, TopologySpec, run_sweep
 from ..topology.builder import usrp_pair_topology
-from .common import format_table, run_scheme
+from .common import format_table
 
 SCENARIOS = ("SC", "HT", "ET")
 
@@ -39,20 +40,30 @@ class Tab2Result:
         return self.kbps["DOMINO"][scenario] / dcf if dcf else float("inf")
 
 
-def run(horizon_us: float = 60_000_000.0, seed: int = 1) -> Tab2Result:
+def run(horizon_us: float = 60_000_000.0, seed: int = 1,
+        workers: int = 0) -> Tab2Result:
     """Default horizon is 60 simulated seconds — USRP slots are tens of
     milliseconds, so long horizons are still cheap to simulate."""
+    config = ControllerConfig(poll_every_batch=False, batch_slots=8)
+    points = [
+        ExperimentPoint(
+            scheme=scheme,
+            topology=TopologySpec(usrp_pair_topology, (scenario,)),
+            label=f"{scenario}:{key}", seed=seed, horizon_us=horizon_us,
+            warmup_us=horizon_us * 0.05,
+            run_kwargs={"saturated": True,
+                        "domino_config":
+                            config if scheme == "domino" else None})
+        for scenario in SCENARIOS
+        for scheme, key in (("dcf", "DCF"), ("domino", "DOMINO"))
+    ]
+    sweep = run_sweep(points, workers=workers)
+    by_label = sweep.by_label()
     result = Tab2Result()
     result.kbps = {"DOMINO": {}, "DCF": {}}
-    config = ControllerConfig(poll_every_batch=False, batch_slots=8)
     for scenario in SCENARIOS:
-        for scheme, key in (("dcf", "DCF"), ("domino", "DOMINO")):
-            topology = usrp_pair_topology(scenario)
-            run_result = run_scheme(
-                scheme, topology, horizon_us=horizon_us,
-                warmup_us=horizon_us * 0.05, saturated=True, seed=seed,
-                domino_config=config if scheme == "domino" else None,
-            )
+        for key in ("DCF", "DOMINO"):
+            run_result = by_label[f"{scenario}:{key}"]
             result.kbps[key][scenario] = run_result.aggregate_mbps * 1000.0
     return result
 

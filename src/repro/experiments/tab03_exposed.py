@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+from ..runner import TopologySpec, run_sweep, scheme_sweep
 from ..topology.builder import Topology, fig13a_topology, fig13b_topology
-from .common import format_table, run_scheme
+from .common import format_table
 
 SCHEMES = ("domino", "centaur", "dcf")
 
@@ -33,19 +34,27 @@ class Tab3Result:
     mbps: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
-def run(horizon_us: float = 1_000_000.0, seed: int = 1) -> Tab3Result:
-    result = Tab3Result()
+def run(horizon_us: float = 1_000_000.0, seed: int = 1,
+        workers: int = 0) -> Tab3Result:
     topologies: Dict[str, Callable[[], Topology]] = {
         "fig13a": fig13a_topology,
         "fig13b": fig13b_topology,
     }
-    for name, topology_fn in topologies.items():
-        result.mbps[name] = {}
-        for scheme in SCHEMES:
-            run_result = run_scheme(scheme, topology_fn(),
-                                    horizon_us=horizon_us, saturated=True,
-                                    seed=seed)
-            result.mbps[name][scheme] = run_result.aggregate_mbps
+    points = [
+        point
+        for name, topology_fn in topologies.items()
+        for point in scheme_sweep(SCHEMES, TopologySpec(topology_fn),
+                                  horizon_us=horizon_us, seed=seed,
+                                  label_prefix=f"{name}:", saturated=True)
+    ]
+    sweep = run_sweep(points, workers=workers)
+    by_label = sweep.by_label()
+    result = Tab3Result()
+    for name in topologies:
+        result.mbps[name] = {
+            scheme: by_label[f"{name}:{scheme}"].aggregate_mbps
+            for scheme in SCHEMES
+        }
     return result
 
 

@@ -1,0 +1,141 @@
+"""Sweep execution: serial in-process or fan-out over a process pool.
+
+``run_sweep(points, workers=N)`` executes every
+:class:`~repro.runner.points.ExperimentPoint` and returns a
+:class:`~repro.runner.points.SweepResult` in submission order.
+``workers=0`` (the default) runs in-process; ``workers >= 1`` fans out
+over a ``ProcessPoolExecutor`` using the ``fork`` start method where
+available (simulation state is rebuilt per point either way, so fork
+inherits nothing that matters).
+
+Each worker reduces its run to plain data (:class:`PointResult`)
+because ``RunResult`` holds live MACs and the simulator.  Per-point
+telemetry is recorded *inside* the worker — recorders are
+process-local, so no cross-process merging of live objects is needed;
+the registry snapshot and canonical-trace digest come back with the
+point and :meth:`SweepResult.merged_metrics` recombines them.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Sequence
+
+from ..telemetry.jsonl import dumps_record
+from .points import (ExperimentPoint, FlowSummary, PointResult, SweepResult,
+                     TopologySpec)
+
+__all__ = ["run_point", "run_sweep", "trace_digest"]
+
+
+def trace_digest(records: Iterable[dict]) -> str:
+    """sha256 over the canonical JSONL serialization of a trace."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(dumps_record(record).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _reduce(point: ExperimentPoint, result, wall_s: float,
+            keep_trace: bool) -> PointResult:
+    """Collapse a live ``RunResult`` into a picklable ``PointResult``."""
+    flows = [
+        FlowSummary(flow=flow, packets=record.packets,
+                    payload_bytes=record.payload_bytes,
+                    total_delay_us=record.total_delay_us,
+                    delays_us=list(record.delays_us),
+                    mbps=result.recorder.flow_throughput_mbps(
+                        flow, point.horizon_us))
+        for flow, record in result.recorder.records.items()
+    ]
+    sim = next(iter(result.macs.values())).sim
+    cache = getattr(result.controller, "conversion_cache", None)
+    digest = None
+    metrics = None
+    records = None
+    if result.trace is not None:
+        records = result.trace.records()
+        digest = trace_digest(records)
+        metrics = result.trace.metrics.snapshot()
+        if not keep_trace:
+            records = None
+    return PointResult(
+        label=point.label, scheme=point.scheme, seed=point.seed,
+        horizon_us=point.horizon_us, warmup_us=point.warmup_us,
+        aggregate_mbps=result.aggregate_mbps,
+        mean_delay_us=result.mean_delay_us,
+        fairness=result.fairness,
+        flows=flows,
+        events_processed=sim.events_processed,
+        wall_s=wall_s,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        trace_digest=digest, metrics=metrics, trace_records=records)
+
+
+def run_point(point: ExperimentPoint, trace: bool = False,
+              keep_trace: bool = False) -> PointResult:
+    """Execute one point in this process (the pool worker entry)."""
+    # Imported here, not at module top: the experiment modules import
+    # repro.runner to build their sweeps, so a top-level import of
+    # repro.experiments.common would be circular.
+    from ..experiments.common import run_scheme
+
+    started = time.perf_counter()
+    topology = point.topology.build()
+    result = run_scheme(
+        point.scheme, topology,
+        horizon_us=point.horizon_us, warmup_us=point.warmup_us,
+        seed=point.seed, trace=True if trace else None,
+        **point.run_kwargs)
+    return _reduce(point, result, time.perf_counter() - started, keep_trace)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+def run_sweep(points: Sequence[ExperimentPoint], workers: int = 0,
+              trace: bool = False, keep_traces: bool = False) -> SweepResult:
+    """Run every point; ``workers=0`` serial, else a pool of that size.
+
+    Results come back in submission order regardless of which worker
+    finished first, and are bit-identical to a serial run of the same
+    points (same seeds, same topology specs — see the determinism
+    contract in :mod:`repro.runner.points`).
+    """
+    points = list(points)
+    started = time.perf_counter()
+    if workers <= 0:
+        results = [run_point(p, trace=trace, keep_trace=keep_traces)
+                   for p in points]
+    else:
+        task = functools.partial(run_point, trace=trace,
+                                 keep_trace=keep_traces)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_pool_context()) as pool:
+            results = list(pool.map(task, points, chunksize=1))
+    return SweepResult(points=results, workers=workers,
+                       wall_s=time.perf_counter() - started)
+
+
+def scheme_sweep(schemes: Sequence[str], topology: TopologySpec, *,
+                 horizon_us: float, warmup_us: float = 100_000.0,
+                 seed: int = 1, label_prefix: str = "",
+                 **run_kwargs) -> List[ExperimentPoint]:
+    """Convenience: the same topology/traffic across several schemes."""
+    return [
+        ExperimentPoint(
+            scheme=scheme, topology=topology,
+            label=f"{label_prefix}{scheme}", seed=seed,
+            horizon_us=horizon_us, warmup_us=warmup_us,
+            run_kwargs=dict(run_kwargs))
+        for scheme in schemes
+    ]

@@ -32,18 +32,25 @@ class Event:
     deletion" trick and keeps scheduling O(log n).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_live")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple,
+                 live: Optional[List[int]] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Shared live-event counter owned by the simulator, so
+        # ``Simulator.pending`` stays O(1) under lazy deletion.
+        self._live = live
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._live is not None:
+                self._live[0] -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -84,6 +91,9 @@ class Simulator:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._heap: List[Event] = []
+        # Count of non-cancelled events in the heap, shared with every
+        # Event so cancel() can keep it current without a scan.
+        self._live: List[int] = [0]
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
@@ -111,8 +121,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self.now})"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, self._live)
         heapq.heappush(self._heap, event)
+        self._live[0] += 1
         return event
 
     # ------------------------------------------------------------------
@@ -155,16 +166,24 @@ class Simulator:
 
     def _drain(self, until: float) -> None:
         """The plain event loop (no per-callback timing)."""
-        while self._heap:
-            event = self._heap[0]
-            if event.time > until:
-                break
-            heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
+        heap = self._heap
+        heappop = heapq.heappop
+        live = self._live
+        processed = 0
+        try:
+            while heap:
+                event = heap[0]
+                if event.time > until:
+                    break
+                heappop(heap)
+                if event.cancelled:
+                    continue
+                live[0] -= 1
+                self.now = event.time
+                processed += 1
+                event.fn(*event.args)
+        finally:
+            self._events_processed += processed
 
     def _drain_profiled(self, until: float) -> None:
         """The event loop with per-callback-site attribution.
@@ -182,6 +201,7 @@ class Simulator:
             heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live[0] -= 1
             self.now = event.time
             self._events_processed += 1
             fn = event.fn
@@ -225,6 +245,7 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live[0] -= 1
             self.now = event.time
             self._events_processed += 1
             event.fn(*event.args)
@@ -241,14 +262,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still in the heap.  O(1):
+        maintained by ``schedule``/``cancel`` instead of scanned."""
+        return self._live[0]
 
     def next_event_time(self) -> Optional[float]:
-        """Time of the earliest pending event, or ``None`` if idle."""
-        for event in sorted(self._heap):
+        """Time of the earliest pending event, or ``None`` if idle.
+
+        Cancelled events sitting at the top of the heap are popped
+        here (they already fired their lazy deletion), so repeated
+        queries stay amortised O(log n) instead of sorting the heap.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
             if not event.cancelled:
                 return event.time
+            heapq.heappop(heap)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .. import telemetry
 from .engine import Simulator
@@ -143,14 +143,21 @@ class Medium:
             metrics = tel.metrics
             metrics.counter("medium.tx_frames").inc()
             metrics.counter("medium.airtime_us").inc(airtime)
-        for radio, rss_dbm, rss_mw in self.audible(src_id):
+        reach = self.audible(src_id)
+        for radio, rss_dbm, rss_mw in reach:
             radio.on_energy_start(tx, rss_dbm, rss_mw)
-        self.sim.schedule(airtime, self._finish, tx)
+        # The reach list captured at transmit time rides along with the
+        # end-of-frame event: a mid-flight invalidate_topology() must
+        # not make the end fan-out disagree with the start fan-out.
+        self.sim.schedule(airtime, self._finish, tx, reach)
         return tx
 
-    def _finish(self, tx: Transmission) -> None:
+    def _finish(self, tx: Transmission,
+                reach: Optional[List[Tuple["Radio", float, float]]] = None) -> None:
         del self.active[tx.uid]
-        for radio, rss_dbm, rss_mw in self.audible(tx.src):
+        if reach is None:  # pragma: no cover - legacy direct callers
+            reach = self.audible(tx.src)
+        for radio, rss_dbm, rss_mw in reach:
             radio.on_energy_end(tx, rss_dbm, rss_mw)
         src_radio = self._radios.get(tx.src)
         if src_radio is not None:

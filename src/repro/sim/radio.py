@@ -55,6 +55,16 @@ class Reception:
     # detection model degrades with this count (Fig. 9).
     max_overlapping_signatures: int = 0
     interrupted_by_tx: bool = False
+    # Running maximum of the interference power (total incoming minus
+    # this frame, noise excluded) seen over the airtime.  min SINR is
+    # derived from it once at delivery — log10 is monotone, so the
+    # worst step in mW is the worst step in dB — instead of paying two
+    # log10 calls per tracked frame on every energy edge.  Negative
+    # means "never refreshed" and leaves ``min_sinr_db`` at +inf.
+    max_interference_mw: float = -1.0
+    # Cached signature count of a TRIGGER frame (targets + ROP polls),
+    # so overlap accounting does not re-walk frame metadata per edge.
+    n_signatures: int = 0
 
 
 class Radio:
@@ -70,6 +80,10 @@ class Radio:
         self._lock: Optional[Reception] = None
         self._own_tx: Optional[Transmission] = None
         self._cs_busy = False
+        # Number of TRIGGER receptions currently in ``_incoming`` —
+        # lets the SINR refresh skip signature-overlap accounting
+        # entirely for the (common) trigger-free energy edges.
+        self._trigger_count = 0
         self._noise_mw = self.profile.noise_mw()
         self._cs_mw = dbm_to_mw(self.profile.cs_threshold_dbm)
         # Power save (Sec. 5 energy saving): while asleep the radio
@@ -156,17 +170,27 @@ class Radio:
         rec = Reception(tx=tx, rss_dbm=rss_dbm, rss_mw=rss_mw)
         if self._own_tx is not None or self.asleep:
             rec.interrupted_by_tx = True
+        frame = tx.frame
+        if frame.kind is FrameKind.TRIGGER:
+            rec.n_signatures = max(
+                1, len(frame.trigger_targets())
+                + len(frame.meta.get("rop_polls", ())))
+            self._trigger_count += 1
         self._incoming[tx.uid] = rec
         self._maybe_lock(rec)
-        self._refresh_sinrs()
-        self._update_cs()
+        total = sum(r.rss_mw for r in self._incoming.values())
+        self._refresh_sinrs(total)
+        self._update_cs(total)
 
     def on_energy_end(self, tx: Transmission, rss_dbm: float, rss_mw: float) -> None:
         rec = self._incoming.pop(tx.uid, None)
         if rec is None:  # registered after our TX started; still tracked
             return
-        self._refresh_sinrs()
-        self._update_cs()
+        if rec.n_signatures:
+            self._trigger_count -= 1
+        total = sum(r.rss_mw for r in self._incoming.values())
+        self._refresh_sinrs(total)
+        self._update_cs(total)
         self._deliver(rec)
 
     # ------------------------------------------------------------------
@@ -191,37 +215,55 @@ class Radio:
             self._lock.interrupted_by_tx = True  # old frame is lost
             self._lock = rec
 
-    def _refresh_sinrs(self) -> None:
-        """Update the running minimum SINR of every tracked frame."""
-        if not self._incoming:
+    def _refresh_sinrs(self, total: Optional[float] = None) -> None:
+        """Update the running worst-case interference of every tracked
+        frame (``total`` is the pre-summed incoming power, recomputed
+        here when the caller has none at hand).
+
+        Only the interference *power* is tracked per edge; the dB-space
+        minimum SINR is finalised once at delivery.  log10 is strictly
+        monotone, so the step with the largest interference is exactly
+        the step with the smallest SINR — same result, two log10 calls
+        per frame instead of two per frame per energy edge.
+        """
+        incoming = self._incoming
+        if not incoming:
             return
-        total = self.total_incoming_mw()
-        trigger_recs = [r for r in self._incoming.values()
-                        if r.tx.frame.kind is FrameKind.TRIGGER]
-        for rec in self._incoming.values():
-            interference = total - rec.rss_mw + self._noise_mw
-            sinr_db = mw_to_dbm(rec.rss_mw) - mw_to_dbm(interference)
-            if sinr_db < rec.min_sinr_db:
-                rec.min_sinr_db = sinr_db
-            if rec.tx.frame.kind is FrameKind.TRIGGER:
+        if total is None:
+            total = sum(r.rss_mw for r in incoming.values())
+        recs = incoming.values()
+        if not self._trigger_count:
+            for rec in recs:
+                interference = total - rec.rss_mw
+                if interference > rec.max_interference_mw:
+                    rec.max_interference_mw = interference
+            return
+        trigger_recs = [r for r in recs if r.n_signatures]
+        for rec in recs:
+            interference = total - rec.rss_mw
+            if interference > rec.max_interference_mw:
+                rec.max_interference_mw = interference
+            if rec.n_signatures:
                 # Signatures that matter to the correlator are those of
                 # comparable power: bursts more than 10 dB below this
                 # one are negligible interference (Fig. 9's combining
                 # limit is about same-order waveforms).
                 floor_mw = rec.rss_mw / 10.0
-                signatures = sum(
-                    max(1, len(other.tx.frame.trigger_targets())
-                        + len(other.tx.frame.meta.get("rop_polls", ())))
-                    for other in trigger_recs
-                    if other.rss_mw >= floor_mw
-                )
-                rec.max_overlapping_signatures = max(
-                    rec.max_overlapping_signatures, signatures
-                )
+                signatures = 0
+                for other in trigger_recs:
+                    if other.rss_mw >= floor_mw:
+                        signatures += other.n_signatures
+                if signatures > rec.max_overlapping_signatures:
+                    rec.max_overlapping_signatures = signatures
 
     def _deliver(self, rec: Reception) -> None:
         if self.mac is None:
             return
+        if rec.max_interference_mw >= 0.0:
+            # Finalise the minimum SINR from the tracked worst-case
+            # interference (see _refresh_sinrs).
+            rec.min_sinr_db = mw_to_dbm(rec.rss_mw) - mw_to_dbm(
+                rec.max_interference_mw + self._noise_mw)
         frame = rec.tx.frame
         if frame.kind is FrameKind.TRIGGER:
             if not rec.interrupted_by_tx:
@@ -256,8 +298,13 @@ class Radio:
     # ------------------------------------------------------------------
     # Carrier sense edge detection
     # ------------------------------------------------------------------
-    def _update_cs(self) -> None:
-        busy = self.channel_busy()
+    def _update_cs(self, total: Optional[float] = None) -> None:
+        if self._own_tx is not None:
+            busy = True
+        else:
+            if total is None:
+                total = sum(r.rss_mw for r in self._incoming.values())
+            busy = total >= self._cs_mw
         if busy == self._cs_busy:
             return
         self._cs_busy = busy

@@ -124,6 +124,41 @@ def test_pending_and_next_event_time_skip_cancelled():
     assert keep.time == 7.0
 
 
+def test_pending_counter_tracks_cancel_and_execution():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    events[1].cancel()
+    events[1].cancel()                   # idempotent: counted once
+    events[3].cancel()
+    assert sim.pending == 3
+    sim.run(until=10.0)
+    assert sim.pending == 0
+    assert sim.events_processed == 3
+
+
+def test_pending_counts_events_cancelled_from_callbacks():
+    sim = Simulator()
+    victim = sim.schedule(5.0, lambda: None)
+    sim.schedule(1.0, victim.cancel)
+    sim.step()
+    assert sim.pending == 0
+    assert sim.next_event_time() is None
+
+
+def test_next_event_time_discards_cancelled_heads():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda: None).cancel()
+    keep = sim.schedule(4.0, lambda: None)
+    assert sim.next_event_time() == 4.0
+    assert sim.pending == 1
+    # The lazy pop must not lose the surviving event.
+    sim.run(until=10.0)
+    assert sim.events_processed == 1
+    assert keep.cancelled is False
+
+
 def test_rng_determinism():
     a = Simulator(seed=42)
     b = Simulator(seed=42)
