@@ -30,6 +30,7 @@ import timeit
 from repro import telemetry
 from repro.experiments.common import run_scheme
 from repro.experiments.fig12_t10_2 import default_topology
+from repro.telemetry.analysis import summarize_causality
 
 import trend
 
@@ -71,7 +72,11 @@ def guard_cost_seconds():
     component = Component()
     assert not component._trace.enabled
     loops = 200_000
-    return timeit.timeit(component.hot_path, number=loops) / loops
+    # Best-of-N, like the wall-clock pairs above: a single timeit
+    # sample of a ~60 ns operation swings 3x under scheduler noise;
+    # the minimum is the undisturbed cost.
+    return min(timeit.repeat(component.hot_path, number=loops,
+                             repeat=5)) / loops
 
 
 def measure_interleaved(repeats=REPEATS):
@@ -126,7 +131,10 @@ def test_telemetry_overhead_under_budget():
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    trend.append("telemetry_overhead", {
+    # Critical-path percentiles of the same deterministic traced run:
+    # seeded, so they gate like domino_mbps (a move = code change).
+    causality = summarize_causality(enabled_result.trace.records()) or {}
+    metrics = {
         "baseline_s": round(base_s, 4),
         "enabled_s": round(enabled_s, 4),
         "enabled_runtime_ratio": round(enabled_s / base_s, 4),
@@ -134,7 +142,13 @@ def test_telemetry_overhead_under_budget():
         "guard_cost_ns": round(per_site_s * 1e9, 2),
         "domino_mbps": round(enabled_result.aggregate_mbps, 4),
         "trace_events_emitted": hits,
-    })
+    }
+    if causality:
+        metrics["critical_makespan_p50_ms"] = round(
+            causality["makespan_p50_us"] / 1000.0, 4)
+        metrics["critical_makespan_p95_ms"] = round(
+            causality["makespan_p95_us"] / 1000.0, 4)
+    trend.append("telemetry_overhead", metrics)
 
     assert disabled_fraction < MAX_DISABLED_OVERHEAD, report
     assert enabled_fraction < MAX_ENABLED_OVERHEAD, report

@@ -51,6 +51,11 @@ GATED_METRICS: Dict[str, str] = {
     "disabled_overhead_fraction": "lower",
     "domino_mbps": "higher",
     "sweep_events_per_sec": "higher",
+    # Critical-path makespan percentiles of the seeded fig12 reference
+    # run (schema v3 causal spans) — deterministic simulation outputs,
+    # so a move means the protocol/scheduling code changed.
+    "critical_makespan_p50_ms": "lower",
+    "critical_makespan_p95_ms": "lower",
 }
 
 #: History below this many prior entries is not gated — a median of

@@ -297,7 +297,10 @@ class DominoController:
             if batch_id not in self._batches_started:
                 self._batches_started.add(batch_id)
                 if self._trace.enabled:
-                    self._trace.batch_start(self.sim.now, batch_id, src_id)
+                    # The AP's announcement carries the slot_exec id of
+                    # the batch's first executed slot (v3 spans).
+                    self._trace.batch_start(self.sim.now, batch_id, src_id,
+                                            message.get("cause"))
                 if self._watchdog is not None:
                     self._watchdog.cancel()
                     self._watchdog = None

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..mac.base import Mac
 from ..metrics.timeline import TimelineRecorder
+from ..telemetry import ORIGIN_META_KEY, TX_META_KEY
 from ..sim.engine import Event, Simulator
 from ..sim.medium import Medium
 from ..sim.node import Node
@@ -48,6 +49,11 @@ from .coexistence import CopOccupancyMeter
 from .relative_schedule import NodeProgram, SlotEntry, TriggerDuty
 from .rop import ReportObservation, RopDecoder, rop_slot_duration_us
 from .trigger_model import TriggerDetectionModel
+
+#: ``frame.meta`` key on queue reports: the ``rop_poll`` event id of
+#: the round being answered, so the AP's joint decode can point its
+#: ``rop_decode.cause`` at the poll (telemetry-private, v3 spans).
+_POLL_META_KEY = "_tel_poll"
 
 
 @dataclass
@@ -266,11 +272,12 @@ class DominoMac(Mac):
             return
         self.stats.self_starts += 1
         tel = self._trace
+        cause = None
         if tel.enabled:
-            tel.backup_trigger(self.sim.now, self.node.node_id, slot,
-                               "watchdog")
+            cause = tel.backup_trigger(self.sim.now, self.node.node_id,
+                                       slot, "watchdog")
             tel.metrics.counter("domino.backup_triggers").inc()
-        self._plan_send(slot, self.sim.now)
+        self._plan_send(slot, self.sim.now, cause, "backup")
 
     def _self_start(self, program: NodeProgram) -> None:
         """Sec. 3.3 first batch: APs start individually.
@@ -288,10 +295,11 @@ class DominoMac(Mac):
         entry = self._send_entries.get(first)
         if entry is not None and first not in self._executed:
             start = base + self.timing.trigger_burst_us + self.timing.slot_us
+            cause = None
             if self._trace.enabled:
-                self._trace.backup_trigger(self.sim.now, self.node.node_id,
-                                           first, "initial")
-            self._plan_send(first, start)
+                cause = self._trace.backup_trigger(
+                    self.sim.now, self.node.node_id, first, "initial")
+            self._plan_send(first, start, cause, "initial")
 
     def _duty_within(self, slot: int) -> bool:
         return slot in self._duty_fired
@@ -349,20 +357,23 @@ class DominoMac(Mac):
                 if frame.meta.get("rop") or next_slot in self._rop_wait:
                     wait += self.timing.rop_slot_us
                 jitter = self.trigger_model.sample_jitter_us(self._rng)
+                sig_id = None
                 if tel.enabled:
-                    tel.sig_detect(self.sim.now, self.node.node_id,
-                                   frame.src, slot, sinr_db, combined, True,
-                                   p_detect)
+                    sig_id = tel.sig_detect(
+                        self.sim.now, self.node.node_id, frame.src, slot,
+                        sinr_db, combined, True, p_detect,
+                        frame.meta.get(TX_META_KEY))
                     # Chain latency: burst end to the planned TX start.
                     tel.metrics.histogram(
                         "domino.trigger_latency_us").observe(jitter + wait)
-                self._plan_send(next_slot, self.sim.now + jitter + wait)
+                self._plan_send(next_slot, self.sim.now + jitter + wait,
+                                sig_id, "primary")
             else:
                 self.stats.triggers_missed += 1
                 if tel.enabled:
                     tel.sig_detect(self.sim.now, self.node.node_id,
                                    frame.src, slot, sinr_db, combined, False,
-                                   p_detect)
+                                   p_detect, frame.meta.get(TX_META_KEY))
                     tel.metrics.counter("domino.trigger_misses").inc()
         if (self.node.node_id in frame.meta.get("rop_polls", frozenset())
                 and slot in self._rop_slots
@@ -371,7 +382,8 @@ class DominoMac(Mac):
             if self.trigger_model.sample_detect(self._rng, sinr_db, combined):
                 jitter = self.trigger_model.sample_jitter_us(self._rng)
                 event = self.sim.schedule(
-                    jitter + self.timing.slot_us, self._execute_poll, slot
+                    jitter + self.timing.slot_us, self._execute_poll, slot,
+                    frame.meta.get(TX_META_KEY)
                 )
                 self._planned_polls[slot] = event
 
@@ -381,7 +393,9 @@ class DominoMac(Mac):
     #: "last correctly received trigger as time reference" healing rule.
     MERGE_WINDOW_US = 5.0
 
-    def _plan_send(self, slot: int, start_time: float) -> None:
+    def _plan_send(self, slot: int, start_time: float,
+                   cause: Optional[int] = None,
+                   via: Optional[str] = None) -> None:
         """(Re)plan the transmission for ``slot`` at ``start_time``.
 
         Nearby references are *combined* (each detection is an
@@ -390,6 +404,11 @@ class DominoMac(Mac):
         current plan replaces it outright, which is what re-aligns a
         node onto a chain running at a genuinely different time
         (Fig. 10's healing, Fig. 11's convergence).
+
+        ``cause``/``via`` (v3 spans) name the reference event behind
+        this plan; they ride on the scheduled callback, so a replan
+        re-attributes the slot to the newest reference — the same
+        "last trigger wins" rule the timing itself follows.
         """
         if slot in self._executed:
             return
@@ -400,13 +419,15 @@ class DominoMac(Mac):
                 planned_time = (existing.time + start_time) / 2.0
             existing.cancel()
         self._planned[slot] = self.sim.schedule_at(
-            max(planned_time, self.sim.now), self._execute_send, slot
+            max(planned_time, self.sim.now), self._execute_send, slot,
+            cause, via
         )
 
     # ==================================================================
     # Slot execution: sender side
     # ==================================================================
-    def _execute_send(self, slot: int) -> None:
+    def _execute_send(self, slot: int, cause: Optional[int] = None,
+                      via: Optional[str] = None) -> None:
         self._planned.pop(slot, None)
         if slot in self._executed:
             return
@@ -437,15 +458,19 @@ class DominoMac(Mac):
         if self.timeline is not None:
             self.timeline.record(slot, entry.link, self.sim.now,
                                  fake=(kind == "fake"), kind=kind)
+        exec_id = None
         if self._trace.enabled:
-            self._trace.slot_exec(self.sim.now, self.node.node_id, slot,
-                                  entry.link.dst, kind == "fake")
-        self._announce_batch_start(slot)
+            exec_id = self._trace.slot_exec(self.sim.now, self.node.node_id,
+                                            slot, entry.link.dst,
+                                            kind == "fake", cause, via)
+            frame.meta[ORIGIN_META_KEY] = exec_id
+        self._announce_batch_start(slot, exec_id)
         self.radio.transmit(frame)
         # Duty and self-triggered continuation anchor to the slot start.
-        self._schedule_slot_followups(slot, self.sim.now)
+        self._schedule_slot_followups(slot, self.sim.now, exec_id)
 
-    def _announce_batch_start(self, slot: int) -> None:
+    def _announce_batch_start(self, slot: int,
+                              cause: Optional[int] = None) -> None:
         if (self.node.is_ap and self.send_to_controller is not None
                 and slot == self._current_batch_first_slot
                 and self._current_batch_id is not None
@@ -454,15 +479,22 @@ class DominoMac(Mac):
             self.send_to_controller({
                 "type": "batch_started",
                 "batch": self._current_batch_id,
+                "cause": cause,
             })
 
-    def _schedule_slot_followups(self, slot: int, slot_start: float) -> None:
+    def _schedule_slot_followups(self, slot: int, slot_start: float,
+                                 cause: Optional[int] = None) -> None:
         """Duty burst, self-timed poll and self-trigger continuation
-        for a slot this node anchors (as sender or receiver)."""
+        for a slot this node anchors (as sender or receiver).
+
+        ``cause`` (v3 spans) is the anchoring event — our own
+        ``slot_exec`` or the anchoring frame's ``frame_tx`` — and
+        becomes the parent of everything timed off this slot.
+        """
         if slot in self._duties and slot not in self._duty_fired:
             fire_at = slot_start + self.timing.trigger_offset_us
             if fire_at >= self.sim.now:
-                self.sim.schedule_at(fire_at, self._fire_duty, slot)
+                self.sim.schedule_at(fire_at, self._fire_duty, slot, cause)
         if (slot in self._rop_slots and slot not in self._polls_done
                 and slot not in self._planned_polls):
             # Self-timed poll: this AP was active in the slot, so it
@@ -471,7 +503,7 @@ class DominoMac(Mac):
             poll_at = slot_start + self.timing.slot_duration_us
             if poll_at >= self.sim.now:
                 self._planned_polls[slot] = self.sim.schedule_at(
-                    poll_at, self._execute_poll, slot
+                    poll_at, self._execute_poll, slot, cause
                 )
         nxt = slot + 1
         if (nxt in self._self_trigger and nxt in self._send_entries
@@ -479,7 +511,7 @@ class DominoMac(Mac):
             wait = self.timing.slot_duration_us
             if nxt in self._rop_wait:
                 wait += self.timing.rop_slot_us
-            self._plan_send(nxt, slot_start + wait)
+            self._plan_send(nxt, slot_start + wait, cause, "self")
 
     def on_tx_end(self, frame: Frame) -> None:
         if frame.kind is FrameKind.DATA:
@@ -556,19 +588,22 @@ class DominoMac(Mac):
         airtime = self.profile.frame_airtime_us(frame)
         slot_start = self.sim.now - airtime
         self._note_slot(slot, slot_start)
-        self._schedule_slot_followups(slot, slot_start)
+        self._schedule_slot_followups(slot, slot_start,
+                                      frame.meta.get(TX_META_KEY))
 
     def _send_ack(self, data: Frame) -> None:
         if self.radio.transmitting:
             return
         ack = ack_frame(self.node.node_id, data.src, data.seq, flow=data.flow)
+        if self._trace.enabled:
+            ack.meta[ORIGIN_META_KEY] = data.meta.get(TX_META_KEY)
         self.stats.acks_sent += 1
         self.radio.transmit(ack)
 
     # ==================================================================
     # Trigger duty
     # ==================================================================
-    def _fire_duty(self, slot: int) -> None:
+    def _fire_duty(self, slot: int, cause: Optional[int] = None) -> None:
         duty = self._duties.get(slot)
         if duty is None or duty.empty or slot in self._duty_fired:
             return
@@ -588,15 +623,15 @@ class DominoMac(Mac):
         )
         self.stats.triggers_sent += 1
         if self._trace.enabled:
-            self._trace.trigger_fire(self.sim.now, self.node.node_id, slot,
-                                     duty.targets, duty.rop_flag,
-                                     duty.rop_polls)
+            burst.meta[ORIGIN_META_KEY] = self._trace.trigger_fire(
+                self.sim.now, self.node.node_id, slot, duty.targets,
+                duty.rop_flag, duty.rop_polls, cause)
         self.radio.transmit(burst)
 
     # ==================================================================
     # ROP execution
     # ==================================================================
-    def _execute_poll(self, slot: int) -> None:
+    def _execute_poll(self, slot: int, cause: Optional[int] = None) -> None:
         self._planned_polls.pop(slot, None)
         if slot in self._polls_done:
             return
@@ -617,8 +652,8 @@ class DominoMac(Mac):
                                             self.node.node_id),
                                  self.sim.now, kind="poll")
         if self._trace.enabled:
-            self._trace.rop_poll(self.sim.now, self.node.node_id, slot,
-                                 poll_set)
+            poll.meta[ORIGIN_META_KEY] = self._trace.rop_poll(
+                self.sim.now, self.node.node_id, slot, poll_set, cause)
         self.radio.transmit(poll)
 
     def _resync_on_poll(self, poll: Frame) -> None:
@@ -649,7 +684,8 @@ class DominoMac(Mac):
         self._note_slot(slot, slot_start)
         nxt = slot + 1
         if nxt in self._send_entries and nxt not in self._executed:
-            self._plan_send(nxt, next_start)
+            self._plan_send(nxt, next_start, poll.meta.get(TX_META_KEY),
+                            "poll")
 
     def _maybe_send_report(self, poll: Frame) -> None:
         """Client side: answer my AP's poll one slot later (Fig. 4).
@@ -680,6 +716,11 @@ class DominoMac(Mac):
                 "slot": poll.meta.get("slot"),
             },
         )
+        if self._trace.enabled:
+            # Report tx is caused by the poll's transmission; the
+            # poll's own rop_poll id rides along for the decode event.
+            report.meta[ORIGIN_META_KEY] = poll.meta.get(TX_META_KEY)
+            report.meta[_POLL_META_KEY] = poll.meta.get(ORIGIN_META_KEY)
         self.stats.reports_sent += 1
         self.radio.transmit(report)
 
@@ -697,9 +738,11 @@ class DominoMac(Mac):
         ))
         if self._rop_decode_event is None:
             self._rop_decode_event = self.sim.schedule(
-                1.0, self._decode_reports, frame.meta.get("slot"))
+                1.0, self._decode_reports, frame.meta.get("slot"),
+                frame.meta.get(_POLL_META_KEY))
 
-    def _decode_reports(self, slot: Optional[int] = None) -> None:
+    def _decode_reports(self, slot: Optional[int] = None,
+                        cause: Optional[int] = None) -> None:
         self._rop_decode_event = None
         observations = self._rop_buffer
         self._rop_buffer = []
@@ -712,7 +755,7 @@ class DominoMac(Mac):
             self._trace.rop_decode(self.sim.now, self.node.node_id,
                                    len(decoded), len(results) - len(decoded),
                                    slot, self.rop_decoder.last_low_snr,
-                                   self.rop_decoder.last_blocked)
+                                   self.rop_decoder.last_blocked, cause)
         if self.send_to_controller is not None and decoded:
             self.send_to_controller({
                 "type": "rop_report",

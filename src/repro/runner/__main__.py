@@ -1,0 +1,61 @@
+"""Sweep tooling CLI.
+
+Usage::
+
+    python -m repro.runner sweep-report sweep.json -o report.html \
+        [--title "fig14 nightly"]
+
+``sweep-report`` renders a persisted sweep
+(:meth:`~repro.runner.points.SweepResult.save_json`) into one
+self-contained HTML page: per-point throughput/fairness/delay, doctor
+verdicts, and critical-path rollups when the sweep ran with
+``diagnose=True``.
+
+Exit codes match the telemetry CLI: ``0`` on success, ``2`` when the
+input cannot be read or parsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .points import SweepResult
+from .report import write_sweep_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Sweep persistence and reporting tools.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser(
+        "sweep-report",
+        help="render a saved sweep (SweepResult.save_json) to HTML")
+    cmd.add_argument("sweep", help="sweep JSON file (save_json output)")
+    cmd.add_argument("-o", "--output", default="sweep-report.html",
+                     help="output HTML path (default: %(default)s)")
+    cmd.add_argument("--title", default="DOMINO sweep report",
+                     help="report title")
+
+    args = parser.parse_args(argv)
+    try:
+        sweep = SweepResult.load_json(args.sweep)
+    except OSError as exc:
+        print(f"error: cannot read {args.sweep}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: {args.sweep} is not a saved sweep "
+              f"(SweepResult.save_json): {exc}", file=sys.stderr)
+        return 2
+    path = write_sweep_report(sweep, args.output, title=args.title)
+    print(f"wrote {path} ({len(sweep.points)} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

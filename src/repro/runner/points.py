@@ -81,6 +81,19 @@ class FlowSummary:
     def mean_delay_us(self) -> float:
         return self.total_delay_us / self.packets if self.packets else 0.0
 
+    def to_json(self) -> dict:
+        return {"flow": list(self.flow), "packets": self.packets,
+                "payload_bytes": self.payload_bytes,
+                "total_delay_us": self.total_delay_us,
+                "delays_us": list(self.delays_us), "mbps": self.mbps}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FlowSummary":
+        return cls(flow=tuple(data["flow"]), packets=data["packets"],
+                   payload_bytes=data["payload_bytes"],
+                   total_delay_us=data["total_delay_us"],
+                   delays_us=list(data["delays_us"]), mbps=data["mbps"])
+
 
 @dataclass
 class PointResult:
@@ -111,6 +124,12 @@ class PointResult:
     trace_digest: Optional[str] = None
     #: Metrics-registry snapshot (``trace=True`` sweeps only).
     metrics: Optional[Dict[str, object]] = None
+    #: Doctor finding strings (``diagnose=True`` sweeps only).
+    doctor_findings: Optional[List[str]] = None
+    #: Picklable critical-path rollup from
+    #: :func:`~repro.telemetry.analysis.summarize_causality`
+    #: (``diagnose=True`` sweeps only; ``None`` for pre-v3 traces).
+    causality: Optional[dict] = None
     #: Raw trace records (``keep_traces=True`` sweeps only — large).
     trace_records: Optional[List[dict]] = None
 
@@ -129,6 +148,47 @@ class PointResult:
                 "trace=True, keep_traces=True")
         return telemetry.analysis.diagnose(self.trace_records,
                                            horizon_us=self.horizon_us)
+
+    def to_json(self) -> dict:
+        """Plain-data snapshot for sweep persistence / ``sweep-report``.
+
+        Raw trace records are deliberately excluded — they dwarf
+        everything else and the digest already identifies them.
+        """
+        return {
+            "label": self.label, "scheme": self.scheme, "seed": self.seed,
+            "horizon_us": self.horizon_us, "warmup_us": self.warmup_us,
+            "aggregate_mbps": self.aggregate_mbps,
+            "mean_delay_us": self.mean_delay_us,
+            "fairness": self.fairness,
+            "flows": [flow.to_json() for flow in self.flows],
+            "events_processed": self.events_processed,
+            "wall_s": self.wall_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "trace_digest": self.trace_digest,
+            "metrics": self.metrics,
+            "doctor_findings": self.doctor_findings,
+            "causality": self.causality,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PointResult":
+        return cls(
+            label=data["label"], scheme=data["scheme"], seed=data["seed"],
+            horizon_us=data["horizon_us"], warmup_us=data["warmup_us"],
+            aggregate_mbps=data["aggregate_mbps"],
+            mean_delay_us=data["mean_delay_us"],
+            fairness=data["fairness"],
+            flows=[FlowSummary.from_json(f) for f in data["flows"]],
+            events_processed=data["events_processed"],
+            wall_s=data["wall_s"],
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+            trace_digest=data.get("trace_digest"),
+            metrics=data.get("metrics"),
+            doctor_findings=data.get("doctor_findings"),
+            causality=data.get("causality"))
 
 
 @dataclass
@@ -168,3 +228,27 @@ class SweepResult:
                 if isinstance(value, (int, float)):
                     merged[name] = merged.get(name, 0.0) + value
         return merged
+
+    def to_json(self) -> dict:
+        return {"points": [p.to_json() for p in self.points],
+                "workers": self.workers, "wall_s": self.wall_s}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SweepResult":
+        return cls(points=[PointResult.from_json(p)
+                           for p in data["points"]],
+                   workers=data["workers"], wall_s=data["wall_s"])
+
+    def save_json(self, path: str) -> str:
+        """Persist the sweep (minus raw traces) for later reporting."""
+        import json
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load_json(cls, path: str) -> "SweepResult":
+        import json
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))

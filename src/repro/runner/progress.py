@@ -1,0 +1,149 @@
+"""Live sweep observability: heartbeat records and the parent monitor.
+
+Long multi-process sweeps used to run silently until ``run_sweep()``
+returned.  This module gives them a pulse: workers post small plain
+dicts (:func:`start_record` / :func:`finish_record`) over a queue the
+moment they pick up or finish a point, and the parent feeds them into
+a :class:`SweepMonitor` that renders per-point one-liners, a running
+events/sec figure, an ETA, and a stall warning for any point that has
+been running far longer than its finished peers.
+
+Everything that crosses the process boundary is a plain dict of
+scalars — never traces, never live objects — so observability cannot
+perturb the determinism contract (digests are computed worker-side
+from the same records either way).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SweepMonitor", "finish_record", "start_record"]
+
+
+def start_record(index: int, label: str) -> dict:
+    """Heartbeat a worker posts when it picks up a point."""
+    return {"kind": "start", "index": index, "label": label}
+
+
+def finish_record(index: int, label: str, wall_s: float, events: int,
+                  findings: Optional[List[str]] = None,
+                  causality: Optional[dict] = None) -> dict:
+    """Heartbeat a worker posts when a point's result is reduced.
+
+    ``findings``/``causality`` ride along only for ``diagnose=True``
+    sweeps: the doctor's finding strings and the picklable
+    :func:`~repro.telemetry.analysis.summarize_causality` rollup.
+    """
+    record = {"kind": "finish", "index": index, "label": label,
+              "wall_s": wall_s, "events": events}
+    if findings is not None:
+        record["findings"] = list(findings)
+    if causality is not None and causality.get("batches", 1):
+        # A scheme without dispatch batches (dcf) has no chains; a
+        # "critical p95 0.00 ms" line would just be noise.
+        record["makespan_p95_us"] = causality.get("makespan_p95_us")
+    return record
+
+
+def doctor_line(findings: Optional[List[str]]) -> str:
+    """One-liner health verdict for a finished point."""
+    if findings is None:
+        return ""
+    if not findings:
+        return "doctor: ok"
+    first = findings[0]
+    if len(first) > 60:
+        first = first[:57] + "..."
+    return f"doctor: {len(findings)} finding(s) — {first}"
+
+
+class SweepMonitor:
+    """Parent-side consumer of worker heartbeats.
+
+    Feed it every queue record via :meth:`note`; call
+    :meth:`check_stalls` whenever the queue is quiet.  Rendered lines
+    go to ``emit`` (e.g. ``print`` or a log method).  ``clock`` is
+    injectable so tests can script time instead of sleeping.
+    """
+
+    def __init__(self, n_points: int, workers: int,
+                 emit: Callable[[str], None],
+                 stall_timeout_s: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.n_points = n_points
+        self.workers = max(1, workers)
+        self.emit = emit
+        self.stall_timeout_s = stall_timeout_s
+        self.clock = clock
+        self.started_at: Dict[int, float] = {}
+        self.labels: Dict[int, str] = {}
+        self.finished = 0
+        self.total_events = 0
+        self.busy_s = 0.0             # summed worker wall time of finished
+        self._stall_flagged: set = set()
+
+    # -- heartbeat intake -------------------------------------------------
+
+    def note(self, record: dict) -> None:
+        if record.get("kind") == "start":
+            self.note_start(record["index"], record.get("label", ""))
+        elif record.get("kind") == "finish":
+            self.note_finish(record)
+
+    def note_start(self, index: int, label: str) -> None:
+        self.started_at[index] = self.clock()
+        self.labels[index] = label
+
+    def note_finish(self, record: dict) -> None:
+        index = record["index"]
+        self.started_at.pop(index, None)
+        self._stall_flagged.discard(index)
+        self.finished += 1
+        self.total_events += int(record.get("events", 0))
+        wall_s = float(record.get("wall_s", 0.0))
+        self.busy_s += wall_s
+        rate = record.get("events", 0) / wall_s if wall_s > 0 else 0.0
+        parts = [f"[{self.finished}/{self.n_points}] "
+                 f"{record.get('label', '?')} finished in {wall_s:.2f}s "
+                 f"({rate / 1000.0:.0f}k ev/s)"]
+        verdict = doctor_line(record.get("findings"))
+        if verdict:
+            parts.append(verdict)
+        p95 = record.get("makespan_p95_us")
+        if p95 is not None:
+            parts.append(f"critical p95 {p95 / 1000.0:.2f} ms")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        self.emit(" | ".join(parts))
+
+    # -- derived state ----------------------------------------------------
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining wall-clock estimate from finished-point averages."""
+        remaining = self.n_points - self.finished
+        if remaining <= 0:
+            return 0.0
+        if not self.finished:
+            return None
+        mean_s = self.busy_s / self.finished
+        return remaining * mean_s / self.workers
+
+    def check_stalls(self) -> List[str]:
+        """Flag points running far beyond the stall timeout (once each)."""
+        now = self.clock()
+        stalled = []
+        for index, started in sorted(self.started_at.items()):
+            if index in self._stall_flagged:
+                continue
+            running_s = now - started
+            if running_s >= self.stall_timeout_s:
+                self._stall_flagged.add(index)
+                label = self.labels.get(index, f"#{index}")
+                stalled.append(label)
+                self.emit(f"stall: point {label} has been running "
+                          f"{running_s:.0f}s with no heartbeat "
+                          f"(timeout {self.stall_timeout_s:.0f}s)")
+        return stalled

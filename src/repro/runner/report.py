@@ -1,0 +1,189 @@
+"""Self-contained HTML sweep reports (``sweep-report``).
+
+:func:`render_sweep_report` turns a completed
+:class:`~repro.runner.points.SweepResult` into one HTML page — inline
+CSS, no scripts, no external references — so CI can attach it as a
+build artifact and it still renders offline years later.
+
+Sections:
+
+* headline numbers (points, workers, wall time, events/sec);
+* a per-point table: throughput, fairness, mean delay, events, wall
+  time, doctor verdict, critical-path makespan p50/p95 (the last two
+  only for ``diagnose=True`` sweeps);
+* critical-path rollups across the whole sweep — total attributed
+  wait per chain step and the busiest links, summed over the
+  per-point :func:`~repro.telemetry.analysis.summarize_causality`
+  summaries;
+* every doctor finding, grouped by point.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from .points import PointResult, SweepResult
+
+__all__ = ["render_sweep_report", "write_sweep_report"]
+
+_STYLE = """
+body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #d0d0dc; padding: 0.3rem 0.55rem;
+         text-align: right; }
+th { background: #eef0f6; } td.label, th.label { text-align: left; }
+tr:nth-child(even) td { background: #f7f8fb; }
+.ok { color: #1d7a33; } .warn { color: #a15c00; }
+.meta { color: #666; font-size: 0.8rem; }
+ul.findings { font-size: 0.85rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: Optional[float], digits: int = 3) -> str:
+    return "—" if value is None else f"{value:.{digits}f}"
+
+
+def _doctor_cell(point: PointResult) -> str:
+    if point.doctor_findings is None:
+        return '<td class="meta">n/a</td>'
+    if not point.doctor_findings:
+        return '<td class="ok">ok</td>'
+    return f'<td class="warn">{len(point.doctor_findings)} finding(s)</td>'
+
+
+def _causality_cells(point: PointResult) -> str:
+    summary = point.causality
+    if not summary:
+        return '<td class="meta">—</td><td class="meta">—</td>'
+    p50 = summary.get("makespan_p50_us")
+    p95 = summary.get("makespan_p95_us")
+    return (f"<td>{_fmt(p50 / 1000.0 if p50 is not None else None)}</td>"
+            f"<td>{_fmt(p95 / 1000.0 if p95 is not None else None)}</td>")
+
+
+def _point_rows(points: List[PointResult]) -> str:
+    rows = []
+    for point in points:
+        rows.append(
+            "<tr>"
+            f'<td class="label">{_esc(point.label or point.scheme)}</td>'
+            f'<td class="label">{_esc(point.scheme)}</td>'
+            f"<td>{point.seed}</td>"
+            f"<td>{_fmt(point.aggregate_mbps)}</td>"
+            f"<td>{_fmt(point.fairness)}</td>"
+            f"<td>{_fmt(point.mean_delay_us / 1000.0)}</td>"
+            f"<td>{point.events_processed}</td>"
+            f"<td>{_fmt(point.wall_s, 2)}</td>"
+            f"{_doctor_cell(point)}"
+            f"{_causality_cells(point)}"
+            "</tr>")
+    return "\n".join(rows)
+
+
+def _rollup_waits(points: List[PointResult]
+                  ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Sum critical-path wait by step and by link across all points."""
+    by_step: Dict[str, float] = {}
+    by_link: Dict[str, float] = {}
+    for point in points:
+        summary = point.causality or {}
+        for step, wait in (summary.get("wait_by_step_us") or {}).items():
+            by_step[step] = by_step.get(step, 0.0) + wait
+        for entry in summary.get("top_links") or []:
+            src, dst = entry["link"]
+            key = f"{src} → {dst}"
+            by_link[key] = by_link.get(key, 0.0) + entry["wait_us"]
+    return by_step, by_link
+
+
+def _rollup_section(points: List[PointResult]) -> str:
+    by_step, by_link = _rollup_waits(points)
+    if not by_step and not by_link:
+        return ('<p class="meta">No causal spans in this sweep — run with '
+                "<code>trace=True, diagnose=True</code> on a schema v3 "
+                "build to populate critical-path rollups.</p>")
+    blocks = []
+    if by_step:
+        total = sum(by_step.values()) or 1.0
+        rows = "\n".join(
+            f'<tr><td class="label">{_esc(step)}</td>'
+            f"<td>{wait / 1000.0:.3f}</td>"
+            f"<td>{100.0 * wait / total:.1f}</td></tr>"
+            for step, wait in sorted(by_step.items(),
+                                     key=lambda kv: -kv[1]))
+        blocks.append(
+            "<h2>Critical-path wait by chain step</h2>\n"
+            '<table><tr><th class="label">step</th><th>wait (ms)</th>'
+            "<th>share (%)</th></tr>\n" + rows + "</table>")
+    if by_link:
+        rows = "\n".join(
+            f'<tr><td class="label">{_esc(link)}</td>'
+            f"<td>{wait / 1000.0:.3f}</td></tr>"
+            for link, wait in sorted(by_link.items(),
+                                     key=lambda kv: -kv[1])[:10])
+        blocks.append(
+            "<h2>Busiest links on critical paths</h2>\n"
+            '<table><tr><th class="label">link</th>'
+            "<th>critical wait (ms)</th></tr>\n" + rows + "</table>")
+    return "\n".join(blocks)
+
+
+def _findings_section(points: List[PointResult]) -> str:
+    flagged = [p for p in points if p.doctor_findings]
+    if not flagged:
+        return ""
+    items = []
+    for point in flagged:
+        findings = "".join(f"<li>{_esc(f)}</li>"
+                           for f in point.doctor_findings)
+        items.append(f'<h2>Doctor findings — {_esc(point.label)}</h2>'
+                     f'<ul class="findings">{findings}</ul>')
+    return "\n".join(items)
+
+
+def render_sweep_report(sweep: SweepResult,
+                        title: str = "DOMINO sweep report") -> str:
+    """Render one self-contained HTML page for a completed sweep."""
+    fairness = [p.fairness for p in sweep.points]
+    summary = (
+        f"<p class=\"meta\">{len(sweep.points)} points · "
+        f"{sweep.workers} workers · wall {sweep.wall_s:.2f} s · "
+        f"{sweep.total_events} events "
+        f"({sweep.events_per_sec / 1000.0:.0f}k ev/s) · "
+        f"fairness min {_fmt(min(fairness) if fairness else None, 3)} "
+        f"mean {_fmt(sum(fairness) / len(fairness) if fairness else None, 3)}"
+        "</p>")
+    table = (
+        '<table>\n<tr><th class="label">point</th>'
+        '<th class="label">scheme</th><th>seed</th><th>Mb/s</th>'
+        "<th>fairness</th><th>delay (ms)</th><th>events</th>"
+        "<th>wall (s)</th><th>doctor</th>"
+        "<th>critical p50 (ms)</th><th>critical p95 (ms)</th></tr>\n"
+        + _point_rows(sweep.points) + "\n</table>")
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f"{summary}\n"
+        "<h2>Per-point results</h2>\n"
+        f"{table}\n"
+        f"{_rollup_section(sweep.points)}\n"
+        f"{_findings_section(sweep.points)}\n"
+        "</body>\n</html>\n")
+
+
+def write_sweep_report(sweep: SweepResult, path: str,
+                       title: str = "DOMINO sweep report") -> str:
+    """Write :func:`render_sweep_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_sweep_report(sweep, title=title))
+    return path

@@ -139,7 +139,11 @@ class Medium:
         self.active[tx.uid] = tx
         tel = self._trace
         if tel.enabled:
-            tel.frame_tx(self.sim.now, src_id, frame, airtime)
+            # The frame_tx event reads the frame's causal origin from
+            # meta; its own id rides back on the frame so receivers
+            # (frame_rx/drop, detections, ACKs) can point at it.
+            frame.meta[telemetry.TX_META_KEY] = tel.frame_tx(
+                self.sim.now, src_id, frame, airtime)
             metrics = tel.metrics
             metrics.counter("medium.tx_frames").inc()
             metrics.counter("medium.airtime_us").inc(airtime)

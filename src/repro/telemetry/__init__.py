@@ -51,7 +51,8 @@ from .events import EVENT_TYPES, SCHEMA_VERSION, TraceEvent, from_record
 from .jsonl import dump_jsonl, load_jsonl, read_jsonl
 from .log import get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .recorder import NULL, NullRecorder, TraceRecorder
+from .recorder import (NULL, ORIGIN_META_KEY, TX_META_KEY, NullRecorder,
+                       TraceRecorder)
 from .trace_tools import (SlotChainEntry, filter_records, render_timeline,
                           summarize, trigger_chain_timeline)
 from . import analysis
@@ -61,7 +62,8 @@ __all__ = [
     "dump_jsonl", "load_jsonl", "read_jsonl",
     "get_logger",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "NULL", "NullRecorder", "TraceRecorder",
+    "NULL", "ORIGIN_META_KEY", "TX_META_KEY", "NullRecorder",
+    "TraceRecorder",
     "SlotChainEntry", "filter_records", "render_timeline", "summarize",
     "trigger_chain_timeline",
     "analysis",

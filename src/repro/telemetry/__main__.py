@@ -7,6 +7,7 @@ Usage::
     python -m repro.telemetry filter    run.jsonl --kind sig_detect \
         [--node 3] [--slot 7] [--t0 0] [--t1 50000]
     python -m repro.telemetry doctor    run.jsonl [--json] [--horizon-us H]
+    python -m repro.telemetry causality run.jsonl [--json] [--batch B]
     python -m repro.telemetry diff      a.jsonl b.jsonl [--json]
 
 ``summarize`` prints headline statistics and the reconstructed
@@ -15,8 +16,13 @@ signature detected y/n, backup fallback used y/n); ``timeline``
 prints just the table; ``filter`` re-emits matching records as JSONL
 for further piping; ``doctor`` runs the diagnosis layer
 (:mod:`~repro.telemetry.analysis`) and prints the health report;
-``diff`` aligns two traces slot-by-slot and reports the first
-divergence (exit 0 = identical, 1 = divergent, 2 = usage error).
+``causality`` reconstructs the per-batch trigger trees (schema v3
+spans) and prints critical-path latency attribution; ``diff`` aligns
+two traces slot-by-slot and reports the first divergence.
+
+Exit codes are CI-friendly: ``0`` healthy / identical, ``1`` the
+doctor reported findings or the diff diverged, ``2`` the input could
+not be read or parsed.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import json
 import sys
 from typing import List, Optional
 
-from .analysis import diagnose, diff_traces
+from .analysis import causality_report, diagnose, diff_traces
 from .jsonl import TraceFormatError, dumps_record, load_jsonl
 from .trace_tools import (filter_records, render_timeline, summarize,
                           trigger_chain_timeline)
@@ -72,13 +78,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="ignore events after this sim time (us)")
 
     cmd = commands.add_parser(
-        "doctor", help="diagnose protocol health from a trace")
+        "doctor", help="diagnose protocol health from a trace "
+                       "(exit 1 when findings are reported)")
     _add_trace_arg(cmd)
     cmd.add_argument("--json", action="store_true",
                      help="emit the report as JSON instead of text")
     cmd.add_argument("--horizon-us", type=float, default=None,
                      help="airtime accounting horizon (defaults to the "
                           "last event timestamp)")
+
+    cmd = commands.add_parser(
+        "causality", help="per-batch critical paths and latency "
+                          "attribution (schema v3 spans)")
+    _add_trace_arg(cmd)
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    cmd.add_argument("--batch", type=int, default=None,
+                     help="show the full critical path of one batch")
 
     cmd = commands.add_parser(
         "diff", help="align two traces slot-by-slot, report divergence")
@@ -120,6 +136,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.command == "doctor":
             report = diagnose(records, horizon_us=args.horizon_us)
             if args.json:
+                print(json.dumps(report.to_json(), sort_keys=True, indent=2))
+            else:
+                print(report.render())
+            if report.findings:
+                return 1
+        elif args.command == "causality":
+            report = causality_report(records)
+            if args.batch is not None:
+                chain = next((c for c in report.batches
+                              if c.batch == args.batch), None)
+                if chain is None:
+                    print(f"error: no causal chain for batch {args.batch} "
+                          f"in this trace", file=sys.stderr)
+                    return 2
+                if args.json:
+                    print(json.dumps(chain.to_json(), sort_keys=True,
+                                     indent=2))
+                else:
+                    print(chain.render())
+            elif args.json:
                 print(json.dumps(report.to_json(), sort_keys=True, indent=2))
             else:
                 print(report.render())

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..metrics import MetricsRegistry
 from ..trace_tools import trigger_chain_timeline
+from .causality import CausalityReport, _fmt_link, causality_report
 from .reports import (AirtimeBucket, AirtimeReport, FlowHealth, FlowStats,
                       HealthReport, LinkTriggerStats, RopHealth,
                       TriggerHealth)
@@ -37,6 +38,12 @@ ROP_ERROR_THRESHOLD = 0.10
 #: Fake share of slotted (data + fake) airtime above which the
 #: schedule is flagged as padding instead of carrying traffic.
 FAKE_AIRTIME_THRESHOLD = 0.30
+#: A batch chain this much slower than the median batch is flagged as
+#: the "slowest chain" (v3 traces), naming the link that carried the
+#: most critical-path wait.  Needs a few batches for a median to mean
+#: anything.
+SLOW_CHAIN_RATIO = 1.5
+SLOW_CHAIN_MIN_BATCHES = 3
 
 
 def _trigger_health(records: List[dict]) -> TriggerHealth:
@@ -190,8 +197,31 @@ def _flow_health(records: List[dict]) -> FlowHealth:
     return health
 
 
+def _slow_chain_finding(causality: Optional[CausalityReport]
+                        ) -> Optional[str]:
+    """Name the batch (and link) that dominated the run's latency."""
+    if causality is None or len(causality.batches) < SLOW_CHAIN_MIN_BATCHES:
+        return None
+    makespans = sorted(causality.makespans_us())
+    median = makespans[len(makespans) // 2]
+    slowest = causality.slowest()
+    if slowest is None or median <= 0.0 \
+            or slowest.makespan_us < SLOW_CHAIN_RATIO * median:
+        return None
+    link, wait = slowest.dominant_link()
+    culprit = ""
+    if link is not None and wait > 0.0:
+        culprit = (f" — {wait / 1000.0:.3f} ms of it waiting on link "
+                   f"{_fmt_link(link)}")
+    return (f"slowest chain: batch {slowest.batch} took "
+            f"{slowest.makespan_us / 1000.0:.3f} ms root-to-end, "
+            f"{slowest.makespan_us / median:.1f}x the median batch "
+            f"({median / 1000.0:.3f} ms){culprit}")
+
+
 def _findings(trigger: TriggerHealth, rop: RopHealth,
-              airtime: AirtimeReport, flows: FlowHealth) -> List[str]:
+              airtime: AirtimeReport, flows: FlowHealth,
+              causality: Optional[CausalityReport] = None) -> List[str]:
     findings: List[str] = []
     # Order: most causally-upstream problem first — a bad trigger
     # chain explains the fallbacks, the stalls and the lost airtime.
@@ -238,6 +268,9 @@ def _findings(trigger: TriggerHealth, rop: RopHealth,
             f"fairness {flows.fairness:.2f} (Jain) across "
             f"{len(flows.flows)} flows — flow {thin.src} -> {thin.dst} "
             f"delivered only {thin.delivered} frames")
+    slow = _slow_chain_finding(causality)
+    if slow is not None:
+        findings.append(slow)
     return findings
 
 
@@ -256,11 +289,14 @@ def diagnose(records: Iterable[dict],
     rop = _rop_health(records)
     airtime = _airtime_report(records, horizon_us)
     flows = _flow_health(records)
+    spans = causality_report(records)
+    causality = spans if spans.has_spans else None
     times = [r.get("t", 0.0) for r in records]
     return HealthReport(
         trigger=trigger, rop=rop, airtime=airtime, flows=flows,
-        findings=_findings(trigger, rop, airtime, flows),
+        findings=_findings(trigger, rop, airtime, flows, causality),
         t0_us=min(times) if times else 0.0,
         t1_us=max(times) if times else 0.0,
         events=len(records),
-        metrics=metrics.snapshot() if metrics is not None else None)
+        metrics=metrics.snapshot() if metrics is not None else None,
+        causality=causality)

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
+from .causality import CausalityReport
+
 
 def _pct(numerator: float, denominator: float) -> float:
     return 100.0 * numerator / denominator if denominator else 0.0
@@ -316,6 +318,9 @@ class HealthReport:
     events: int = 0
     #: Optional metrics-registry snapshot (live runs only).
     metrics: Optional[dict] = None
+    #: Critical-path attribution (schema v3 traces only; ``None`` when
+    #: the trace predates causal spans, keeping v1/v2 reports stable).
+    causality: Optional[CausalityReport] = None
 
     def to_json(self) -> dict:
         return {
@@ -328,6 +333,8 @@ class HealthReport:
             "flows": self.flows.to_json(),
             "findings": list(self.findings),
             "metrics": self.metrics,
+            "causality": (self.causality.to_json()
+                          if self.causality is not None else None),
         }
 
     def render(self) -> str:
@@ -336,6 +343,8 @@ class HealthReport:
                   f"(t = {self.t0_us:.1f} .. {self.t1_us:.1f} us)")
         blocks = [header, "", self.trigger.render(), "", self.rop.render(),
                   "", self.airtime.render(), "", self.flows.render(), ""]
+        if self.causality is not None:
+            blocks.extend([self.causality.render(), ""])
         if self.findings:
             blocks.append("findings:")
             blocks.extend(f"  ! {finding}" for finding in self.findings)

@@ -28,10 +28,23 @@ from typing import Dict, List, Optional, Type
 #:
 #: v2 (diagnosis fields): ``sig_detect`` gained ``p`` (the detection
 #: probability behind the draw) and ``rop_decode`` gained ``slot`` /
-#: ``low_snr`` / ``blocked``.  All v2 additions carry defaults, so v1
-#: traces still parse; files declaring a *newer* version are refused
-#: up front (see :mod:`~repro.telemetry.jsonl`).
-SCHEMA_VERSION = 2
+#: ``low_snr`` / ``blocked``.
+#:
+#: v3 (causal spans): every event gained ``id`` — the recorder's
+#: per-run emission index, deterministic because emission order is —
+#: and the chain-carrying events gained ``cause``, the ``id`` of the
+#: event that triggered this one (``None`` for roots: dispatches,
+#: watchdog restarts, the initial self-start).  ``slot_exec``
+#: additionally records ``via``, the kind of reference that timed the
+#: slot ("primary" detection, "backup"/"initial" restart, "self"
+#: continuation, "poll" resync).  The pointers turn a flat trace into
+#: per-batch trigger trees that :mod:`~repro.telemetry.analysis.causality`
+#: walks for critical-path latency attribution.
+#:
+#: All v2/v3 additions carry defaults, so older traces still parse;
+#: files declaring a *newer* version are refused up front (see
+#: :mod:`~repro.telemetry.jsonl`).
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,11 @@ class FrameTx(TraceEvent):
     seq: int
     slot: Optional[int]            # global slot index, if slotted
     airtime_us: float
+    id: Optional[int] = None       # emission index (v3)
+    #: Event that put this frame on the air (v3): the ``slot_exec`` /
+    #: ``trigger_fire`` / ``rop_poll`` that decided to transmit, or the
+    #: causing frame's ``frame_tx`` for reactive frames (ACKs, reports).
+    cause: Optional[int] = None
 
     KIND = "frame_tx"
 
@@ -73,6 +91,8 @@ class FrameRx(TraceEvent):
     frame: str
     seq: int
     slot: Optional[int]
+    id: Optional[int] = None       # emission index (v3)
+    cause: Optional[int] = None    # the frame's ``frame_tx`` event (v3)
 
     KIND = "frame_rx"
 
@@ -92,6 +112,8 @@ class FrameDrop(TraceEvent):
     seq: int
     slot: Optional[int]
     reason: str
+    id: Optional[int] = None       # emission index (v3)
+    cause: Optional[int] = None    # the frame's ``frame_tx`` event (v3)
 
     KIND = "frame_drop"
 
@@ -116,6 +138,9 @@ class SignatureDetect(TraceEvent):
     #: Model probability behind the draw (v2); lets the doctor compare
     #: the observed miss rate against the calibrated expectation.
     p: Optional[float] = None
+    id: Optional[int] = None       # emission index (v3)
+    #: ``frame_tx`` of the trigger burst the draw listened to (v3).
+    cause: Optional[int] = None
 
     KIND = "sig_detect"
 
@@ -129,6 +154,10 @@ class TriggerFire(TraceEvent):
     targets: List[int]             # sorted next-slot senders
     rop: bool                      # burst ends with the ROP signature
     polls: List[int]               # sorted APs polled after this slot
+    id: Optional[int] = None       # emission index (v3)
+    #: Event that anchored the duty's timing (v3): the ``slot_exec``
+    #: of the slot it follows, or the anchoring frame's ``frame_tx``.
+    cause: Optional[int] = None
 
     KIND = "trigger_fire"
 
@@ -144,6 +173,7 @@ class BackupTrigger(TraceEvent):
     node: int
     slot: int
     reason: str
+    id: Optional[int] = None       # emission index (v3); always a root
 
     KIND = "backup_trigger"
 
@@ -156,6 +186,15 @@ class SlotExec(TraceEvent):
     slot: int
     dst: int
     fake: bool
+    id: Optional[int] = None       # emission index (v3)
+    #: Event whose timing reference planned this slot (v3): the
+    #: ``sig_detect`` hit, ``backup_trigger``, preceding ``slot_exec``
+    #: (self-trigger) or the resyncing poll's ``frame_tx``.
+    cause: Optional[int] = None
+    #: How the slot was reached (v3): "primary" (signature detection),
+    #: "backup" (watchdog), "initial" (first-batch self-start), "self"
+    #: (self-triggered continuation) or "poll" (ROP resync).
+    via: Optional[str] = None
 
     KIND = "slot_exec"
 
@@ -170,6 +209,10 @@ class RopPoll(TraceEvent):
     node: int
     slot: int
     poll_set: int
+    id: Optional[int] = None       # emission index (v3)
+    #: Event that timed the round (v3): the ROP signature's burst
+    #: ``frame_tx``, or the anchoring slot's reference (self-timed).
+    cause: Optional[int] = None
 
     KIND = "rop_poll"
 
@@ -188,6 +231,9 @@ class RopDecode(TraceEvent):
     #: blocked by a louder adjacent subchannel (guard tolerance).
     low_snr: int = 0
     blocked: int = 0
+    id: Optional[int] = None       # emission index (v3)
+    #: The ``rop_poll`` that opened the round (v3).
+    cause: Optional[int] = None
 
     KIND = "rop_decode"
 
@@ -203,6 +249,7 @@ class ScheduleDispatch(TraceEvent):
     first_slot: int
     last_slot: int
     slots: int
+    id: Optional[int] = None       # emission index (v3); always a root
 
     KIND = "sched_dispatch"
 
@@ -213,6 +260,9 @@ class BatchStart(TraceEvent):
 
     batch: int
     node: int                      # reporting AP
+    id: Optional[int] = None       # emission index (v3)
+    #: The ``slot_exec`` that executed the batch's first slot (v3).
+    cause: Optional[int] = None
 
     KIND = "batch_start"
 

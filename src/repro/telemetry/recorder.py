@@ -41,6 +41,20 @@ if TYPE_CHECKING:  # pragma: no cover - the recorder only duck-types
     from ..sim.packet import Frame  # Frame; no runtime sim dependency
 
 
+#: Process-wide latch for the "metrics are being discarded" warning.
+#: Lives at module level, not on the registry class, so *every* null
+#: registry in the process shares it — a sweep of repeated
+#: ``run_scheme(trace=None)`` calls warns exactly once, not once per
+#: freshly constructed ``NullRecorder``.
+_NULL_METRICS_WARNED = False
+
+
+def reset_null_metrics_warning() -> None:
+    """Re-arm the one-shot null-metrics warning (test helper)."""
+    global _NULL_METRICS_WARNED
+    _NULL_METRICS_WARNED = False
+
+
 class _NullMetricsRegistry(MetricsRegistry):
     """The registry behind :class:`NullRecorder`: records into the void.
 
@@ -51,11 +65,10 @@ class _NullMetricsRegistry(MetricsRegistry):
     quiet.
     """
 
-    _warned = False
-
     def _get(self, name, cls, **kwargs):
-        if not _NullMetricsRegistry._warned:
-            _NullMetricsRegistry._warned = True
+        global _NULL_METRICS_WARNED
+        if not _NULL_METRICS_WARNED:
+            _NULL_METRICS_WARNED = True
             get_logger("telemetry").warning(
                 "telemetry is disabled: metric %r (and anything else "
                 "written to the null recorder) is discarded — activate "
@@ -82,46 +95,67 @@ class NullRecorder:
     def emit(self, record: dict) -> None:
         pass
 
-    # -- typed helpers (all no-ops, same signatures as TraceRecorder) ---
+    # -- typed helpers (all no-ops, same signatures as TraceRecorder;
+    # every helper returns the new event's id, which here is None) ----
     def frame_tx(self, t, node, frame, airtime_us):
-        pass
+        return None
 
     def frame_rx(self, t, node, frame):
-        pass
+        return None
 
     def frame_drop(self, t, node, frame, reason):
-        pass
+        return None
 
     def sig_detect(self, t, node, src, slot, sinr_db, combined, detected,
-                   p=None):
-        pass
+                   p=None, cause=None):
+        return None
 
-    def trigger_fire(self, t, node, slot, targets, rop, polls):
-        pass
+    def trigger_fire(self, t, node, slot, targets, rop, polls, cause=None):
+        return None
 
     def backup_trigger(self, t, node, slot, reason):
-        pass
+        return None
 
-    def slot_exec(self, t, node, slot, dst, fake):
-        pass
+    def slot_exec(self, t, node, slot, dst, fake, cause=None, via=None):
+        return None
 
-    def rop_poll(self, t, node, slot, poll_set):
-        pass
+    def rop_poll(self, t, node, slot, poll_set, cause=None):
+        return None
 
     def rop_decode(self, t, node, decoded, failed, slot=None, low_snr=0,
-                   blocked=0):
-        pass
+                   blocked=0, cause=None):
+        return None
 
     def sched_dispatch(self, t, batch, first_slot, last_slot, slots):
-        pass
+        return None
 
-    def batch_start(self, t, batch, node):
-        pass
+    def batch_start(self, t, batch, node, cause=None):
+        return None
 
 
 #: The one shared disabled recorder (what ``telemetry.current()``
 #: returns outside an activated session).
 NULL = NullRecorder()
+
+
+# ----------------------------------------------------------------------
+# Causal-span plumbing (schema v3).  Event ids travel between
+# instrumentation sites on ``Frame.meta`` under these keys; they are
+# telemetry-private (only written when a recorder is enabled, stripped
+# from nothing — frames are never serialized) and carry sim-derived
+# values only, so determinism is untouched.
+# ----------------------------------------------------------------------
+#: ``frame.meta`` key: id of the decision event (``slot_exec`` /
+#: ``trigger_fire`` / ``rop_poll`` / causing ``frame_tx``) that put
+#: the frame on the air.  Read by :meth:`TraceRecorder.frame_tx` as
+#: the transmission's ``cause``.
+ORIGIN_META_KEY = "_tel_origin"
+
+#: ``frame.meta`` key: id of the frame's own ``frame_tx`` event,
+#: written by the medium at transmit time.  Read by ``frame_rx`` /
+#: ``frame_drop`` as their ``cause``, and by receivers that react to
+#: the frame (ACKs, queue reports, trigger detections).
+TX_META_KEY = "_tel_tx"
 
 
 # ----------------------------------------------------------------------
@@ -213,71 +247,112 @@ class TraceRecorder(NullRecorder):
         self.emitted = 0
 
     # ------------------------------------------------------------------
-    # Typed helpers (hot path: append one raw tuple, nothing else)
+    # Typed helpers (hot path: append one raw tuple, nothing else).
+    #
+    # v3 causal spans: every helper stamps the event with its emission
+    # index (``self.emitted`` *before* the bump) and returns it, so
+    # instrumentation sites can thread the id into whatever the event
+    # causes next.  Emission order is a pure function of the seeded
+    # simulation, so the ids — and with them the byte-identical-digest
+    # guarantee — stay deterministic; the id survives ring eviction
+    # because it is assigned at emit time, not derived from position.
     # ------------------------------------------------------------------
     def frame_tx(self, t: float, node: int, frame: "Frame",
-                 airtime_us: float) -> None:
+                 airtime_us: float) -> int:
+        eid = self.emitted
+        meta = frame.meta
         self._append(("frame_tx", t, node, frame.kind.value, frame.dst,
-                      frame.seq, frame.meta.get("slot"), airtime_us))
-        self.emitted += 1
+                      frame.seq, meta.get("slot"), airtime_us, eid,
+                      meta.get(ORIGIN_META_KEY)))
+        self.emitted = eid + 1
+        return eid
 
-    def frame_rx(self, t: float, node: int, frame: "Frame") -> None:
+    def frame_rx(self, t: float, node: int, frame: "Frame") -> int:
+        eid = self.emitted
+        meta = frame.meta
         self._append(("frame_rx", t, node, frame.src, frame.kind.value,
-                      frame.seq, frame.meta.get("slot")))
-        self.emitted += 1
+                      frame.seq, meta.get("slot"), eid,
+                      meta.get(TX_META_KEY)))
+        self.emitted = eid + 1
+        return eid
 
     def frame_drop(self, t: float, node: int, frame: "Frame",
-                   reason: str) -> None:
+                   reason: str) -> int:
+        eid = self.emitted
+        meta = frame.meta
         self._append(("frame_drop", t, node, frame.src, frame.kind.value,
-                      frame.seq, frame.meta.get("slot"), reason))
-        self.emitted += 1
+                      frame.seq, meta.get("slot"), reason, eid,
+                      meta.get(TX_META_KEY)))
+        self.emitted = eid + 1
+        return eid
 
     def sig_detect(self, t: float, node: int, src: int, slot: int,
                    sinr_db: float, combined: int, detected: bool,
-                   p: Optional[float] = None) -> None:
+                   p: Optional[float] = None,
+                   cause: Optional[int] = None) -> int:
+        eid = self.emitted
         self._append(("sig_detect", t, node, src, slot, sinr_db, combined,
-                      detected, p))
-        self.emitted += 1
+                      detected, p, eid, cause))
+        self.emitted = eid + 1
+        return eid
 
     def trigger_fire(self, t: float, node: int, slot: int, targets,
-                     rop: bool, polls) -> None:
+                     rop: bool, polls,
+                     cause: Optional[int] = None) -> int:
         # Sets are captured as-is (immutable frozensets in practice)
         # and sorted at materialize time.
+        eid = self.emitted
         self._append(("trigger_fire", t, node, slot, tuple(targets), rop,
-                      tuple(polls)))
-        self.emitted += 1
+                      tuple(polls), eid, cause))
+        self.emitted = eid + 1
+        return eid
 
     def backup_trigger(self, t: float, node: int, slot: int,
-                       reason: str) -> None:
-        self._append(("backup_trigger", t, node, slot, reason))
-        self.emitted += 1
+                       reason: str) -> int:
+        eid = self.emitted
+        self._append(("backup_trigger", t, node, slot, reason, eid))
+        self.emitted = eid + 1
+        return eid
 
     def slot_exec(self, t: float, node: int, slot: int, dst: int,
-                  fake: bool) -> None:
-        self._append(("slot_exec", t, node, slot, dst, fake))
-        self.emitted += 1
+                  fake: bool, cause: Optional[int] = None,
+                  via: Optional[str] = None) -> int:
+        eid = self.emitted
+        self._append(("slot_exec", t, node, slot, dst, fake, eid, cause,
+                      via))
+        self.emitted = eid + 1
+        return eid
 
-    def rop_poll(self, t: float, node: int, slot: int,
-                 poll_set: int) -> None:
-        self._append(("rop_poll", t, node, slot, poll_set))
-        self.emitted += 1
+    def rop_poll(self, t: float, node: int, slot: int, poll_set: int,
+                 cause: Optional[int] = None) -> int:
+        eid = self.emitted
+        self._append(("rop_poll", t, node, slot, poll_set, eid, cause))
+        self.emitted = eid + 1
+        return eid
 
     def rop_decode(self, t: float, node: int, decoded: int, failed: int,
                    slot: Optional[int] = None, low_snr: int = 0,
-                   blocked: int = 0) -> None:
+                   blocked: int = 0, cause: Optional[int] = None) -> int:
+        eid = self.emitted
         self._append(("rop_decode", t, node, decoded, failed, slot,
-                      low_snr, blocked))
-        self.emitted += 1
+                      low_snr, blocked, eid, cause))
+        self.emitted = eid + 1
+        return eid
 
     def sched_dispatch(self, t: float, batch: int, first_slot: int,
-                       last_slot: int, slots: int) -> None:
+                       last_slot: int, slots: int) -> int:
+        eid = self.emitted
         self._append(("sched_dispatch", t, batch, first_slot, last_slot,
-                      slots))
-        self.emitted += 1
+                      slots, eid))
+        self.emitted = eid + 1
+        return eid
 
-    def batch_start(self, t: float, batch: int, node: int) -> None:
-        self._append(("batch_start", t, batch, node))
-        self.emitted += 1
+    def batch_start(self, t: float, batch: int, node: int,
+                    cause: Optional[int] = None) -> int:
+        eid = self.emitted
+        self._append(("batch_start", t, batch, node, eid, cause))
+        self.emitted = eid + 1
+        return eid
 
     # ------------------------------------------------------------------
     # Query / export

@@ -1,0 +1,205 @@
+"""Sweep observability: heartbeats, monitor, diagnosis, HTML report.
+
+The contract under test: observability is pure *output* — heartbeat
+lines, ETA/stall math, per-point doctor rollups and the HTML report
+all derive from worker-side plain data and never perturb what gets
+simulated (digests with diagnosis on equal digests with it off).
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (ExperimentPoint, SweepMonitor, SweepResult,
+                          TopologySpec, render_sweep_report, run_sweep,
+                          write_sweep_report)
+from repro.runner import __main__ as runner_cli
+from repro.runner.progress import doctor_line, finish_record, start_record
+from repro.topology.builder import random_t_topology
+
+HORIZON_US = 100_000.0
+WARMUP_US = 20_000.0
+
+
+def _points(n=1):
+    return [
+        ExperimentPoint(
+            scheme=scheme, seed=100 + i,
+            topology=TopologySpec(random_t_topology, (6, 2),
+                                  {"seed": 100 + i}),
+            label=f"{scheme}:{i}", horizon_us=HORIZON_US,
+            warmup_us=WARMUP_US,
+            run_kwargs={"downlink_mbps": 10.0, "uplink_mbps": 4.0})
+        for i in range(n) for scheme in ("dcf", "domino")
+    ]
+
+
+@pytest.fixture(scope="module")
+def diagnosed_sweep():
+    """One serial traced sweep with worker-side diagnosis."""
+    lines = []
+    sweep = run_sweep(_points(), workers=0, trace=True, diagnose=True,
+                      progress=lines.append)
+    return sweep, lines
+
+
+class TestSweepMonitor:
+    def _monitor(self, n=4, workers=2, stall_s=30.0):
+        lines = []
+        clock = {"now": 0.0}
+        monitor = SweepMonitor(n, workers, lines.append,
+                               stall_timeout_s=stall_s,
+                               clock=lambda: clock["now"])
+        return monitor, lines, clock
+
+    def test_finish_line_has_progress_rate_and_eta(self):
+        monitor, lines, clock = self._monitor()
+        monitor.note(start_record(0, "domino:0"))
+        clock["now"] = 10.0
+        monitor.note(finish_record(0, "domino:0", wall_s=10.0,
+                                   events=50_000))
+        assert len(lines) == 1
+        assert "[1/4] domino:0 finished in 10.00s" in lines[0]
+        assert "5k ev/s" in lines[0]
+        # 3 points left x 10 s mean / 2 workers = 15 s.
+        assert "ETA 15s" in lines[0]
+
+    def test_no_eta_before_first_finish(self):
+        monitor, _, _ = self._monitor()
+        assert monitor.eta_s() is None
+        monitor.note(finish_record(0, "p", wall_s=2.0, events=1))
+        assert monitor.eta_s() == pytest.approx(3.0)
+
+    def test_stall_flagged_once_per_point(self):
+        monitor, lines, clock = self._monitor(stall_s=30.0)
+        monitor.note(start_record(0, "domino:0"))
+        clock["now"] = 29.0
+        assert monitor.check_stalls() == []
+        clock["now"] = 31.0
+        assert monitor.check_stalls() == ["domino:0"]
+        assert monitor.check_stalls() == []          # flagged once
+        assert any("stall: point domino:0" in line for line in lines)
+
+    def test_finish_clears_stall_state(self):
+        monitor, _, clock = self._monitor(stall_s=30.0)
+        monitor.note(start_record(0, "p"))
+        clock["now"] = 40.0
+        monitor.check_stalls()
+        monitor.note(finish_record(0, "p", wall_s=40.0, events=1))
+        clock["now"] = 80.0
+        assert monitor.check_stalls() == []
+
+    def test_finish_line_carries_doctor_verdict(self):
+        monitor, lines, _ = self._monitor()
+        monitor.note(finish_record(0, "p", wall_s=1.0, events=10,
+                                   findings=["fairness degraded: 0.5"],
+                                   causality={"makespan_p95_us": 99_500.0}))
+        assert "doctor: 1 finding(s) — fairness degraded: 0.5" in lines[0]
+        assert "critical p95 99.50 ms" in lines[0]
+
+    def test_doctor_line_truncates_long_findings(self):
+        line = doctor_line(["x" * 100])
+        assert len(line) < 90 and line.endswith("...")
+        assert doctor_line([]) == "doctor: ok"
+        assert doctor_line(None) == ""
+
+
+class TestDiagnosedSweep:
+    def test_heartbeats_cover_every_point(self, diagnosed_sweep):
+        sweep, lines = diagnosed_sweep
+        finishes = [line for line in lines if "finished in" in line]
+        assert len(finishes) == len(sweep.points)
+        assert f"[{len(sweep.points)}/{len(sweep.points)}]" in finishes[-1]
+
+    def test_points_carry_doctor_and_causality(self, diagnosed_sweep):
+        sweep, _ = diagnosed_sweep
+        for point in sweep.points:
+            assert point.doctor_findings is not None
+            assert point.causality is not None or point.scheme != "domino"
+        domino = sweep.by_label()["domino:0"]
+        assert domino.causality["batches"] > 0
+        assert domino.causality["makespan_p95_us"] > 0
+
+    def test_diagnosis_does_not_perturb_digests(self, diagnosed_sweep):
+        sweep, _ = diagnosed_sweep
+        plain = run_sweep(_points(), workers=0, trace=True)
+        assert plain.digests() == sweep.digests()
+
+    def test_json_round_trip(self, diagnosed_sweep, tmp_path):
+        sweep, _ = diagnosed_sweep
+        path = sweep.save_json(str(tmp_path / "sweep.json"))
+        loaded = SweepResult.load_json(path)
+        assert [p.label for p in loaded.points] == \
+            [p.label for p in sweep.points]
+        for a, b in zip(sweep.points, loaded.points):
+            assert b.aggregate_mbps == a.aggregate_mbps
+            assert b.flows == a.flows
+            assert b.trace_digest == a.trace_digest
+            assert b.doctor_findings == a.doctor_findings
+            assert b.causality == a.causality
+            assert b.trace_records is None
+
+
+class TestHtmlReport:
+    def test_report_is_self_contained_html(self, diagnosed_sweep):
+        sweep, _ = diagnosed_sweep
+        html = render_sweep_report(sweep, title="unit-test sweep")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "unit-test sweep" in html
+        assert "<style>" in html
+        # Self-contained: no external fetches of any kind.
+        assert "http://" not in html and "https://" not in html
+        assert "<script" not in html
+        for point in sweep.points:
+            assert point.label in html
+
+    def test_report_carries_causality_rollups(self, diagnosed_sweep):
+        sweep, _ = diagnosed_sweep
+        html = render_sweep_report(sweep)
+        assert "Critical-path wait by chain step" in html
+        assert "Busiest links on critical paths" in html
+
+    def test_report_without_diagnosis_says_so(self):
+        sweep = run_sweep(_points(), workers=0)
+        html = render_sweep_report(sweep)
+        assert "No causal spans in this sweep" in html
+
+    def test_findings_are_escaped(self, diagnosed_sweep, tmp_path):
+        sweep, _ = diagnosed_sweep
+        point = sweep.points[0]
+        mutated = SweepResult.from_json(sweep.to_json())
+        mutated.points[0].doctor_findings = ["<script>alert(1)</script>"]
+        html = render_sweep_report(mutated)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_write_sweep_report(self, diagnosed_sweep, tmp_path):
+        sweep, _ = diagnosed_sweep
+        path = write_sweep_report(sweep, str(tmp_path / "report.html"))
+        with open(path) as handle:
+            assert "<!DOCTYPE html>" in handle.read()
+
+
+class TestRunnerCli:
+    def test_sweep_report_renders_saved_sweep(self, diagnosed_sweep,
+                                              tmp_path, capsys):
+        sweep, _ = diagnosed_sweep
+        saved = sweep.save_json(str(tmp_path / "sweep.json"))
+        out = str(tmp_path / "report.html")
+        assert runner_cli.main(["sweep-report", saved, "-o", out,
+                                "--title", "cli sweep"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out) as handle:
+            html = handle.read()
+        assert "cli sweep" in html
+
+    def test_missing_input_exits_two(self, tmp_path, capsys):
+        assert runner_cli.main(
+            ["sweep-report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_garbage_input_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text(json.dumps({"not": "a sweep"}))
+        assert runner_cli.main(["sweep-report", str(path)]) == 2
+        assert "not a saved sweep" in capsys.readouterr().err

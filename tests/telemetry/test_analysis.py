@@ -36,18 +36,79 @@ def chain_records():
 class TestGoldenCli:
     """CLI output over the committed fixture must match byte-for-byte."""
 
-    @pytest.mark.parametrize("command, golden", [
-        (["summarize"], "chain.summarize.txt"),
-        (["timeline"], "chain.timeline.txt"),
-        (["filter", "--kind", "sig_detect"], "chain.filter.jsonl"),
-        (["doctor"], "chain.doctor.txt"),
+    @pytest.mark.parametrize("command, golden, code", [
+        (["summarize"], "chain.summarize.txt", 0),
+        (["timeline"], "chain.timeline.txt", 0),
+        (["filter", "--kind", "sig_detect"], "chain.filter.jsonl", 0),
+        # The fixture trace carries real findings, so `doctor` signals
+        # them through its exit code (the CI gating contract).
+        (["doctor"], "chain.doctor.txt", 1),
     ])
-    def test_matches_golden(self, command, golden, capsys):
+    def test_matches_golden(self, command, golden, code, capsys):
         assert cli.main([command[0], fixture("chain.jsonl")]
-                        + command[1:]) == 0
+                        + command[1:]) == code
         with open(fixture(golden)) as handle:
             expected = handle.read()
         assert capsys.readouterr().out == expected
+
+
+class TestCliExitCodes:
+    """0 healthy / identical, 1 findings / divergence, 2 bad input."""
+
+    def test_doctor_healthy_trace_exits_zero(self, tmp_path, capsys):
+        # A single clean execution produces no findings.
+        path = str(tmp_path / "healthy.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"__domino_trace__":3,"schema_version":3}\n')
+            handle.write('{"ev":"slot_exec","t":10.0,"node":1,"slot":0,'
+                         '"dst":2,"fake":false,"id":0,"cause":null,'
+                         '"via":"initial"}\n')
+        assert cli.main(["doctor", path]) == 0
+
+    def test_doctor_findings_exit_one(self, capsys):
+        assert cli.main(["doctor", fixture("chain.jsonl")]) == 1
+
+    def test_diff_identical_exits_zero(self, capsys):
+        path = fixture("chain.jsonl")
+        assert cli.main(["diff", path, path]) == 0
+
+    def test_diff_divergent_exits_one(self, tmp_path, capsys):
+        records = chain_records()
+        for record in records:
+            if record["ev"] == "sig_detect":
+                record["detected"] = not record["detected"]
+        mutated = str(tmp_path / "mutated.jsonl")
+        with open(mutated, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        assert cli.main(["diff", fixture("chain.jsonl"), mutated]) == 1
+
+    def test_missing_file_exits_two(self, capsys):
+        assert cli.main(["doctor", fixture("no-such-trace.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_not_jsonl_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "garbage.jsonl")
+        with open(path, "w") as handle:
+            handle.write("this is not json\n")
+        assert cli.main(["doctor", path]) == 2
+        assert "not JSONL" in capsys.readouterr().err
+
+    def test_future_schema_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "future.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"__domino_trace__":3,"schema_version":99}\n')
+        assert cli.main(["doctor", path]) == 2
+        assert "newer than this build supports" in capsys.readouterr().err
+
+    def test_causality_v2_trace_exits_zero_with_notice(self, capsys):
+        assert cli.main(["causality", fixture("chain.jsonl")]) == 0
+        assert "no causal spans" in capsys.readouterr().out
+
+    def test_causality_unknown_batch_exits_two(self, capsys):
+        assert cli.main(["causality", fixture("chain.jsonl"),
+                         "--batch", "41"]) == 2
+        assert "no causal chain" in capsys.readouterr().err
 
 
 class TestDiagnose:

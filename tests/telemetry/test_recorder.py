@@ -132,7 +132,7 @@ class TestTypedHelpers:
         tx, rx, drop = rec.records()
         assert tx == {"ev": "frame_tx", "t": 10.0, "node": 0,
                       "frame": "data", "dst": 1, "seq": 7, "slot": 3,
-                      "airtime_us": 450.0}
+                      "airtime_us": 450.0, "id": 0, "cause": None}
         assert rx["src"] == 0 and rx["slot"] == 3
         assert drop["reason"] == "tx_busy" and drop["slot"] is None
         # The process-global frame uid must never leak into a record.
@@ -197,7 +197,7 @@ class TestJsonl:
         TraceRecorder().export_jsonl(path)
         with open(path) as handle:
             first = handle.readline().strip()
-        assert first == '{"__domino_trace__":2,"schema_version":2}'
+        assert first == '{"__domino_trace__":3,"schema_version":3}'
 
     def test_unsupported_schema_version_rejected(self):
         stream = io.StringIO('{"__domino_trace__":99}\n{"ev":"x","t":0}\n')
@@ -246,8 +246,8 @@ class TestNullMetricsWarning:
 
     @pytest.fixture()
     def captured(self):
+        from repro.telemetry import recorder as recorder_mod
         from repro.telemetry.log import get_logger
-        from repro.telemetry.recorder import _NullMetricsRegistry
 
         records = []
 
@@ -258,13 +258,13 @@ class TestNullMetricsWarning:
         handler = Capture()
         logger = get_logger("telemetry")
         logger.addHandler(handler)
-        previous = _NullMetricsRegistry._warned
-        _NullMetricsRegistry._warned = False
+        previous = recorder_mod._NULL_METRICS_WARNED
+        recorder_mod.reset_null_metrics_warning()
         try:
             yield records
         finally:
             logger.removeHandler(handler)
-            _NullMetricsRegistry._warned = previous
+            recorder_mod._NULL_METRICS_WARNED = previous
 
     def test_warns_once_and_still_counts_into_the_void(self, captured):
         recorder = NullRecorder()
@@ -279,6 +279,14 @@ class TestNullMetricsWarning:
         # The registry still works — callers never crash, they just
         # record into the void.
         assert recorder.metrics.counter("lost.frames").value == 2.0
+
+    def test_warns_once_per_process_not_per_instance(self, captured):
+        # A sweep calls run_scheme(trace=None) once per point, each of
+        # which can construct fresh NullRecorders — the flag must be
+        # process-wide or N points produce N identical warnings.
+        for _ in range(3):
+            NullRecorder().metrics.counter("lost.frames").inc()
+        assert len(captured) == 1
 
     def test_enabled_recorder_never_warns(self, captured):
         recorder = TraceRecorder()

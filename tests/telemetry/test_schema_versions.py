@@ -1,0 +1,102 @@
+"""Schema-version negotiation: old traces load, future ones refuse.
+
+The contract the fixtures pin down:
+
+* **v1** (``chain_v1.jsonl``, magic-key-only header) and **v2**
+  (``chain.jsonl``, explicit ``schema_version``) traces still load
+  read-only on a v3 build — every field added since parses to its
+  default (``p`` on ``sig_detect``, the v3 ``id``/``cause``/``via``
+  spans), and the analysis layer treats them as span-less;
+* traces from a **future** schema are refused up front with one clear
+  message, never half-parsed.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.telemetry import from_record, jsonl
+from repro.telemetry.analysis import causality_report, diagnose
+from repro.telemetry.events import SCHEMA_VERSION
+from repro.telemetry.recorder import TraceRecorder
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+class TestOldVersionsLoadReadOnly:
+    def test_v1_fixture_parses_with_defaults(self):
+        records = jsonl.load_jsonl(fixture("chain_v1.jsonl"))
+        assert len(records) == 5
+        events = [from_record(r) for r in records]
+        sig = next(e for e in events if e.KIND == "sig_detect")
+        assert sig.detected is True
+        assert sig.p is None            # v2 addition, defaulted
+        assert sig.id is None           # v3 addition, defaulted
+        assert sig.cause is None
+        exec_events = [e for e in events if e.KIND == "slot_exec"]
+        assert all(e.via is None for e in exec_events)
+
+    def test_v2_fixture_parses_with_default_spans(self):
+        records = jsonl.load_jsonl(fixture("chain.jsonl"))
+        assert records, "fixture went missing"
+        for event in map(from_record, records):
+            assert event.id is None
+
+    def test_v1_trace_diagnoses_without_spans(self):
+        records = jsonl.load_jsonl(fixture("chain_v1.jsonl"))
+        report = diagnose(records)
+        assert report.events == 5
+        assert report.causality is None
+        spans = causality_report(records)
+        assert not spans.has_spans
+        assert "no causal spans" in spans.render()
+
+    def test_v3_export_round_trips_spans(self):
+        rec = TraceRecorder()
+        root = rec.sched_dispatch(0.0, 0, 0, 1, 2)
+        child = rec.slot_exec(10.0, 1, 0, 9, False, cause=root,
+                              via="initial")
+        assert (root, child) == (0, 1)
+        stream = io.StringIO()
+        jsonl.write_jsonl(stream, rec.records())
+        stream.seek(0)
+        loaded = jsonl.load_jsonl(stream)
+        assert loaded == rec.records()
+        assert loaded[1]["cause"] == root and loaded[1]["via"] == "initial"
+
+
+class TestFutureVersionsRefused:
+    def test_future_explicit_version_refused(self):
+        stream = io.StringIO(
+            '{"__domino_trace__":3,"schema_version":99}\n'
+            '{"ev":"x","t":0}\n')
+        with pytest.raises(jsonl.TraceFormatError) as err:
+            jsonl.load_jsonl(stream)
+        assert "newer than this build supports" in str(err.value)
+        assert f"v{SCHEMA_VERSION}" in str(err.value)
+
+    def test_future_magic_only_version_refused(self):
+        # v1-style header spelling, future number — still refused.
+        stream = io.StringIO('{"__domino_trace__":99}\n{"ev":"x","t":0}\n')
+        with pytest.raises(jsonl.TraceFormatError) as err:
+            jsonl.load_jsonl(stream)
+        assert "newer than this build supports" in str(err.value)
+
+    def test_malformed_version_refused(self):
+        stream = io.StringIO(
+            '{"__domino_trace__":3,"schema_version":"three"}\n')
+        with pytest.raises(jsonl.TraceFormatError) as err:
+            jsonl.load_jsonl(stream)
+        assert "malformed" in str(err.value)
+
+    def test_nothing_yielded_before_refusal(self):
+        stream = io.StringIO(
+            '{"__domino_trace__":99}\n{"ev":"x","t":0}\n')
+        reader = jsonl.read_jsonl(stream)
+        with pytest.raises(jsonl.TraceFormatError):
+            next(reader)
