@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..metrics.timeline import TimelineRecorder
@@ -42,6 +42,9 @@ from .relative_schedule import (NodeProgram, RelativeBatch, TriggerDuty,
 from .rop import RopDecoder, plan_subchannels
 from .domino_mac import DominoMac
 from .trigger_model import TriggerDetectionModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from ..topology.measurement import ObservationStore
 
 
 @dataclass
@@ -344,6 +347,7 @@ class DominoController:
     MEASURE_REPORT_ROUND_US = 250.0
 
     _campaign_requested = False
+    _campaign_store: Optional["ObservationStore"] = None
     last_campaign_updates = 0
 
     def run_measurement_campaign(self, delay_us: float = 0.0) -> None:
@@ -356,7 +360,7 @@ class DominoController:
         conflict graph, scheduler and converter, then dispatches the
         next batch.
         """
-        def request():
+        def request() -> None:
             self._campaign_requested = True
 
         self.sim.schedule(delay_us, request)
@@ -399,7 +403,7 @@ class DominoController:
         if getattr(self, "_campaign_store", None) is not None:
             self._campaign_store.record(observer, beaconer, rss_dbm)
 
-    def refresh_from_observations(self, store) -> int:
+    def refresh_from_observations(self, store: "ObservationStore") -> int:
         """Fold campaign observations in and rebuild the control plane."""
         from ..sched.interference_map import InterferenceMap
         from ..topology.propagation import matrix_rss_fn

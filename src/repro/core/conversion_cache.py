@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,9 +44,16 @@ from .. import telemetry
 from ..topology.links import Link
 from .relative_schedule import RelativeBatch, RelativeSlot, TriggerDuty
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sched.strict_schedule import StrictSchedule
+    from .converter import ConverterConfig
+
+#: Opaque-but-hashable composite cache key (see :meth:`ConversionCache.key`).
+CacheKey = Tuple[object, ...]
+
 
 def conversion_topology_key(rss_matrix: np.ndarray, links: Sequence[Link],
-                            config) -> str:
+                            config: "ConverterConfig") -> str:
     """Content hash of the control-plane state conversion depends on.
 
     Covers the measured RSS matrix (the interference map and the
@@ -129,7 +136,7 @@ class ConversionCache:
     def __init__(self, topology_key: str = "", max_entries: int = 256):
         self.topology_key = topology_key
         self.max_entries = max_entries
-        self._entries: "OrderedDict[tuple, CachedConversion]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, CachedConversion]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self._trace = telemetry.current()
@@ -147,9 +154,9 @@ class ConversionCache:
         hash can never match again."""
         self.topology_key = topology_key
 
-    def key(self, connector: Optional[RelativeSlot], strict,
+    def key(self, connector: Optional[RelativeSlot], strict: "StrictSchedule",
             rop_aps: Sequence[int],
-            ap_links: Optional[Dict[int, List[Link]]]) -> tuple:
+            ap_links: Optional[Dict[int, List[Link]]]) -> CacheKey:
         connector_key = None if connector is None else tuple(
             (entry.link.src, entry.link.dst, entry.fake)
             for entry in connector.entries)
@@ -161,7 +168,7 @@ class ConversionCache:
         return (self.topology_key, connector_key, strict_key,
                 tuple(rop_aps), links_key)
 
-    def get(self, key: tuple) -> Optional[CachedConversion]:
+    def get(self, key: CacheKey) -> Optional[CachedConversion]:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -173,7 +180,7 @@ class ConversionCache:
             self._trace.metrics.counter("converter.cache.hits").inc()
         return entry
 
-    def put(self, key: tuple, base: int, n_new_slots: int,
+    def put(self, key: CacheKey, base: int, n_new_slots: int,
             batch: RelativeBatch, connector_rop_append: List[int]) -> None:
         while len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)

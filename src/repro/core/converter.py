@@ -221,7 +221,7 @@ class ScheduleConverter:
                 continue
             if any(self.graph.has_edge(cand, link) for link in chosen):
                 continue
-            if not self.imap.set_survives(chosen + [cand]):
+            if not self.imap.set_survives([*chosen, cand]):
                 continue
             out.append(SlotEntry(link=cand, fake=True))
             chosen.append(cand)

@@ -45,6 +45,7 @@ from ..sim.medium import Medium
 from ..sim.node import Node
 from ..sim.packet import (MAC_HEADER_BYTES, Frame, FrameKind, ack_frame,
                           fake_frame)
+from ..sim.phy import PhyProfile
 from .coexistence import CopOccupancyMeter
 from .relative_schedule import NodeProgram, SlotEntry, TriggerDuty
 from .rop import ReportObservation, RopDecoder, rop_slot_duration_us
@@ -80,7 +81,8 @@ class SlotTiming:
         return self.trigger_offset_us + self.trigger_burst_us + self.slot_us
 
     @classmethod
-    def from_profile(cls, profile, payload_bytes: int) -> "SlotTiming":
+    def from_profile(cls, profile: PhyProfile,
+                     payload_bytes: int) -> "SlotTiming":
         data_bytes = MAC_HEADER_BYTES + payload_bytes
         return cls(
             data_airtime_us=profile.bytes_airtime_us(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +64,7 @@ def lfsr_m_sequence(degree: int, taps: Sequence[int],
         feedback = 0
         for t in tap_idx:
             feedback ^= state[t]
-        state = [feedback] + state[:-1]
+        state = [feedback, *state[:-1]]
     if len(set(map(tuple, _state_orbit(degree, taps, seed)))) != length:
         raise ValueError(
             f"taps {taps} are not primitive for degree {degree}"
@@ -72,7 +72,8 @@ def lfsr_m_sequence(degree: int, taps: Sequence[int],
     return out
 
 
-def _state_orbit(degree: int, taps: Sequence[int], seed: int):
+def _state_orbit(degree: int, taps: Sequence[int],
+                 seed: int) -> Iterator[Tuple[int, ...]]:
     """All register states visited; full period iff taps are primitive."""
     state = [(seed >> i) & 1 for i in range(degree)]
     tap_idx = [t - 1 for t in taps]
@@ -81,7 +82,7 @@ def _state_orbit(degree: int, taps: Sequence[int], seed: int):
         feedback = 0
         for t in tap_idx:
             feedback ^= state[t]
-        state = [feedback] + state[:-1]
+        state = [feedback, *state[:-1]]
 
 
 def _to_bipolar(bits: np.ndarray) -> np.ndarray:
@@ -217,9 +218,11 @@ class SignatureLengthTradeoff:
         return self.assignable_nodes == self.length
 
 
-def signature_length_tradeoffs(degrees=(5, 6, 7, 9),
-                               chip_rate_mhz: float = 20.0,
-                               slot_payload_airtime_us: float = 448.7):
+def signature_length_tradeoffs(
+        degrees: Sequence[int] = (5, 6, 7, 9),
+        chip_rate_mhz: float = 20.0,
+        slot_payload_airtime_us: float = 448.7,
+) -> List["SignatureLengthTradeoff"]:
     """Quantify the Sec. 5 length trade-off for each available family.
 
     ``slot_payload_airtime_us`` is everything in a slot that is not
@@ -229,7 +232,7 @@ def signature_length_tradeoffs(degrees=(5, 6, 7, 9),
     """
     import math as _math
 
-    rows = []
+    rows: List[SignatureLengthTradeoff] = []
     for degree in degrees:
         family = gold_family(degree)
         signature_us = family.length / chip_rate_mhz

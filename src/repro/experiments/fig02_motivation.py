@@ -49,15 +49,15 @@ def run(horizon_us: float = 1_000_000.0, seed: int = 1,
 def report(result: Fig2Result) -> str:
     topology = fig1_topology()
     names = {0: "AP1", 1: "C1", 2: "AP2", 3: "C2", 4: "AP3", 5: "C3"}
-    headers = ["scheme"] + [
-        f"{names[f.src]}->{names[f.dst]}" for f in topology.flows
-    ] + ["overall"]
+    headers = ["scheme",
+               *(f"{names[f.src]}->{names[f.dst]}" for f in topology.flows),
+               "overall"]
     rows = []
     for scheme in SCHEMES:
         rows.append(
-            [scheme]
-            + [f"{result.per_link_mbps[scheme][f]:.2f}" for f in topology.flows]
-            + [f"{result.overall_mbps[scheme]:.2f}"]
+            [scheme,
+             *(f"{result.per_link_mbps[scheme][f]:.2f}" for f in topology.flows),
+             f"{result.overall_mbps[scheme]:.2f}"]
         )
     lines = [format_table(headers, rows)]
     lines.append(

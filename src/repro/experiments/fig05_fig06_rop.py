@@ -123,9 +123,9 @@ def report(panels: List[Fig5Panel], fig6: Fig6Result) -> str:
         )
     lines.append("")
     lines.append("Fig. 6 — correct decoding ratio vs RSS difference:")
-    headers = ["guards"] + [f"{d:.0f} dB" for d in RSS_DIFFS_DB]
+    headers = ["guards", *(f"{d:.0f} dB" for d in RSS_DIFFS_DB)]
     rows = [
-        [str(g)] + [f"{fig6.curves[g][d]:.2f}" for d in RSS_DIFFS_DB]
+        [str(g), *(f"{fig6.curves[g][d]:.2f}" for d in RSS_DIFFS_DB)]
         for g in GUARD_COUNTS
     ]
     lines.append(format_table(headers, rows))

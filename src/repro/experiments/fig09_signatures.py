@@ -48,10 +48,10 @@ def run(runs: int = 300, seed: int = 3) -> Fig9Result:
 
 
 def report(result: Fig9Result) -> str:
-    headers = ["setup"] + [str(n) for n in range(1, MAX_COMBINED + 1)]
+    headers = ["setup", *(str(n) for n in range(1, MAX_COMBINED + 1))]
     rows = [
-        [setup] + [f"{result.detection(setup, n):.2f}"
-                   for n in range(1, MAX_COMBINED + 1)]
+        [setup, *(f"{result.detection(setup, n):.2f}"
+                  for n in range(1, MAX_COMBINED + 1))]
         for setup in FIG9_SETUPS
     ]
     lines = [format_table(headers, rows)]

@@ -62,9 +62,9 @@ def run(seed: int = 2, horizon_us: float = 40_000.0) -> Fig11Result:
 
 
 def report(result: Fig11Result) -> str:
-    headers = ["wire variance"] + [f"slot {i}" for i in range(N_SLOTS)]
+    headers = ["wire variance", *(f"slot {i}" for i in range(N_SLOTS))]
     rows = [
-        [f"{v:.0f} us^2"] + [f"{m:.1f}" for m in result.series[v]]
+        [f"{v:.0f} us^2", *(f"{m:.1f}" for m in result.series[v])]
         for v in VARIANCES_US2
     ]
     lines = [format_table(headers, rows)]

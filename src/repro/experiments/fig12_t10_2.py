@@ -96,17 +96,17 @@ def run(transport: str = "udp",
 def report(result: Fig12Result) -> str:
     lines = [f"T(10,2) {result.transport.upper()} sweep "
              "(downlink fixed at 10 Mbps/flow):"]
-    headers = (["uplink Mbps"]
-               + [f"{s} thr" for s in SCHEMES]
-               + [f"{s} delay(ms)" for s in SCHEMES]
-               + [f"{s} jain" for s in SCHEMES])
+    headers = ["uplink Mbps",
+               *(f"{s} thr" for s in SCHEMES),
+               *(f"{s} delay(ms)" for s in SCHEMES),
+               *(f"{s} jain" for s in SCHEMES)]
     rows = []
     for point in result.points:
         rows.append(
-            [f"{point.uplink_mbps:.0f}"]
-            + [f"{point.throughput_mbps[s]:.1f}" for s in SCHEMES]
-            + [f"{point.delay_us[s] / 1000.0:.0f}" for s in SCHEMES]
-            + [f"{point.fairness[s]:.2f}" for s in SCHEMES]
+            [f"{point.uplink_mbps:.0f}",
+             *(f"{point.throughput_mbps[s]:.1f}" for s in SCHEMES),
+             *(f"{point.delay_us[s] / 1000.0:.0f}" for s in SCHEMES),
+             *(f"{point.fairness[s]:.2f}" for s in SCHEMES)]
         )
     lines.append(format_table(headers, rows))
     first, last = result.points[0], result.points[-1]

@@ -139,7 +139,7 @@ def run_coexistence(horizon_us: float = 800_000.0,
             node.attach(net.medium)
         ext_tx = DcfMac(sim, ext_nodes[0], net.medium)
         ext_rx = DcfMac(sim, ext_nodes[1], net.medium)
-        recorder = FlowRecorder(topology.flows + [Link(6, 7)],
+        recorder = FlowRecorder([*topology.flows, Link(6, 7)],
                                 warmup_us=horizon_us * 0.1)
         recorder.attach_all(net.macs.values())
         recorder.attach(ext_rx)

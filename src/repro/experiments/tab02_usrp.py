@@ -69,12 +69,13 @@ def run(horizon_us: float = 60_000_000.0, seed: int = 1,
 
 
 def report(result: Tab2Result) -> str:
-    headers = ["scheme"] + [f"{s} (Kbps)" for s in SCENARIOS]
+    headers = ["scheme", *(f"{s} (Kbps)" for s in SCENARIOS)]
     rows = []
     for key in ("DOMINO", "DCF"):
-        rows.append([key] + [f"{result.kbps[key][s]:.2f}" for s in SCENARIOS])
-        rows.append([f"  paper {key}"]
-                    + [f"{PAPER_KBPS[key][s]:.2f}" for s in SCENARIOS])
+        rows.append([key, *(f"{result.kbps[key][s]:.2f}"
+                            for s in SCENARIOS)])
+        rows.append([f"  paper {key}",
+                     *(f"{PAPER_KBPS[key][s]:.2f}" for s in SCENARIOS)])
     lines = [format_table(headers, rows)]
     for scenario in SCENARIOS:
         paper = PAPER_KBPS["DOMINO"][scenario] / PAPER_KBPS["DCF"][scenario]

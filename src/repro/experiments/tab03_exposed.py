@@ -59,12 +59,13 @@ def run(horizon_us: float = 1_000_000.0, seed: int = 1,
 
 
 def report(result: Tab3Result) -> str:
-    headers = ["topology"] + [f"{s} (Mbps)" for s in SCHEMES]
+    headers = ["topology", *(f"{s} (Mbps)" for s in SCHEMES)]
     rows = []
     for name in ("fig13a", "fig13b"):
-        rows.append([name] + [f"{result.mbps[name][s]:.2f}" for s in SCHEMES])
-        rows.append([f"  paper {name}"]
-                    + [f"{PAPER_MBPS[name][s]:.2f}" for s in SCHEMES])
+        rows.append([name, *(f"{result.mbps[name][s]:.2f}"
+                             for s in SCHEMES)])
+        rows.append([f"  paper {name}",
+                     *(f"{PAPER_MBPS[name][s]:.2f}" for s in SCHEMES)])
     lines = [format_table(headers, rows)]
     a, b = result.mbps["fig13a"], result.mbps["fig13b"]
     lines.append(f"fig13a: CENTAUR/DCF = {a['centaur'] / a['dcf']:.2f}x "

@@ -1,0 +1,154 @@
+"""dominolint configuration: the ``[tool.dominolint]`` pyproject table.
+
+The config is declarative on purpose — the layering DAG especially is
+a *reviewed artifact*: adding an edge means editing ``pyproject.toml``
+in the same diff as the import that needs it, which is exactly the
+conversation a layering violation should force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python >= 3.11; the lint gate runs on 3.12 in CI.
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback path
+    tomllib = None  # type: ignore[assignment]
+
+
+class ConfigError(RuntimeError):
+    """Raised for a missing or malformed ``[tool.dominolint]`` table."""
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parsed ``[tool.dominolint]`` settings.
+
+    Attributes
+    ----------
+    root:
+        Repository root (the directory holding ``pyproject.toml``);
+        every other path below is resolved against it.
+    src_root:
+        Import root — file paths under it map to dotted module names.
+    sim_packages:
+        Packages under the determinism contract (DOM1xx applies).
+        Everything else — runner progress bars, benchmarks, telemetry's
+        own wall-clock plumbing — is exempt by omission.
+    layers:
+        Allowed-dependency DAG: package -> packages it may import.
+        ``"*"`` marks a top layer that may import anything.
+    schema_events / schema_recorder / schema_baseline:
+        The telemetry schema's source of truth, the typed-helper
+        signatures, and the committed shape fingerprint for DOM303.
+    """
+
+    root: Path
+    src_root: Path
+    sim_packages: Tuple[str, ...]
+    layers: Dict[str, Tuple[str, ...]]
+    schema_events: Path
+    schema_recorder: Path
+    schema_baseline: Path
+
+    def module_name(self, path: Path) -> Optional[str]:
+        """Dotted module for ``path``, or ``None`` if outside src_root."""
+        try:
+            rel = path.resolve().relative_to(self.src_root.resolve())
+        except ValueError:
+            return None
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else None
+
+    def package_of(self, module: str) -> str:
+        """The layering unit a module belongs to (longest table match)."""
+        best = ""
+        for package in self.layers:
+            if module == package or module.startswith(package + "."):
+                if len(package) > len(best):
+                    best = package
+        if best:
+            return best
+        # Fall back to the top two dotted components so DOM202 can name
+        # the package that needs a table row.
+        parts = module.split(".")
+        return ".".join(parts[:2])
+
+    def in_sim_packages(self, module: str) -> bool:
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.sim_packages
+        )
+
+
+def find_pyproject(start: Path) -> Path:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    raise ConfigError(f"no pyproject.toml above {start}")
+
+
+def load_config(start: Optional[Path] = None) -> Config:
+    """Load ``[tool.dominolint]`` from the nearest ``pyproject.toml``."""
+    if tomllib is None:
+        raise ConfigError(
+            "dominolint needs tomllib (Python >= 3.11) to read its "
+            "pyproject.toml configuration"
+        )
+    pyproject = find_pyproject(start if start is not None else Path.cwd())
+    root = pyproject.parent
+    with open(pyproject, "rb") as fh:
+        try:
+            data = tomllib.load(fh)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{pyproject}: {exc}") from exc
+    table = data.get("tool", {}).get("dominolint")
+    if table is None:
+        raise ConfigError(f"{pyproject} has no [tool.dominolint] table")
+
+    def _strings(key: str) -> List[str]:
+        value = table.get(key, [])
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ConfigError(f"[tool.dominolint] {key} must be a string list")
+        return value
+
+    def _path(key: str, default: str) -> Path:
+        value = table.get(key, default)
+        if not isinstance(value, str):
+            raise ConfigError(f"[tool.dominolint] {key} must be a string")
+        return root / value
+
+    layers_raw = table.get("layers", {})
+    if not isinstance(layers_raw, dict):
+        raise ConfigError("[tool.dominolint] layers must be a table")
+    layers: Dict[str, Tuple[str, ...]] = {}
+    for package, allowed in layers_raw.items():
+        if not isinstance(allowed, list) or not all(
+            isinstance(item, str) for item in allowed
+        ):
+            raise ConfigError(
+                f"[tool.dominolint.layers] {package} must be a string list"
+            )
+        layers[str(package)] = tuple(allowed)
+
+    return Config(
+        root=root,
+        src_root=_path("src-root", "src"),
+        sim_packages=tuple(_strings("sim-packages")),
+        layers=layers,
+        schema_events=_path(
+            "schema-events", "src/repro/telemetry/events.py"),
+        schema_recorder=_path(
+            "schema-recorder", "src/repro/telemetry/recorder.py"),
+        schema_baseline=_path(
+            "schema-baseline", "src/repro/lint/schema_baseline.json"),
+    )

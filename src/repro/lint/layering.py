@@ -1,0 +1,148 @@
+"""DOM2xx — the import-contract checker.
+
+The allowed-dependency DAG between ``repro.*`` packages lives in
+``[tool.dominolint.layers]`` in ``pyproject.toml``; DESIGN.md explains
+why each edge exists.  An import edge missing from the table is DOM201;
+a package missing from the table entirely is DOM202 (new packages must
+declare their layer in the same diff that creates them).
+
+``if TYPE_CHECKING:`` imports are exempt — they never execute, so they
+cannot create a runtime dependency cycle or layering leak; they exist
+precisely so annotations can reference upper-layer types.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .config import Config
+from .findings import Finding
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    """``TYPE_CHECKING`` or ``typing.TYPE_CHECKING`` as an if-test."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute module for a ``from ... import`` with ``level`` dots.
+
+    ``module`` is the importing module's dotted name (``__init__``
+    already stripped, so a package's ``__init__`` carries the package
+    name itself — hence ``is_package``).  Returns ``None`` when the
+    relative import escapes the tree.
+    """
+    if level == 0:
+        return target
+    # Relative imports resolve against the importer's __package__: the
+    # module's own package for one dot, one component up per extra dot.
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    for _ in range(level - 1):
+        if not parts:
+            return None
+        parts = parts[:-1]
+    if target:
+        parts = [*parts, *target.split(".")]
+    return ".".join(parts) if parts else None
+
+
+class _LayeringVisitor(ast.NodeVisitor):
+    def __init__(self, config: Config, path: str, module: str,
+                 is_package: bool):
+        self.config = config
+        self.path = path
+        self.module = module
+        self.is_package = is_package
+        self.package = config.package_of(module)
+        allowed = config.layers.get(self.package, ())
+        self.allow_all = "*" in allowed
+        # A package may always import itself and the distribution root
+        # (the bare ``repro`` namespace re-exports nothing heavy).
+        self.allowed = {*allowed, self.package, module.split(".")[0]}
+        self.findings: List[Finding] = []
+        self._type_checking_depth = 0
+
+    # -- TYPE_CHECKING exemption ----------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    # -- imports ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_target(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = _resolve_relative(self.module, self.is_package,
+                                 node.level, node.module)
+        if base is None:
+            return
+        root = self.module.split(".")[0]
+        if base != root and not base.startswith(root + "."):
+            return  # external dependency; not a layering question
+        for alias in node.names:
+            # ``from repro import telemetry`` imports a *subpackage*:
+            # resolving ``base.name`` instead of the bare base catches
+            # the real edge.  For attribute imports
+            # (``from .engine import Simulator``) the extra leaf is
+            # harmless — the package mapping is prefix-based.
+            self._check_target(node, f"{base}.{alias.name}")
+
+    def _check_target(self, node: ast.AST, target: str) -> None:
+        root = self.module.split(".")[0]
+        if target != root and not target.startswith(root + "."):
+            return
+        if self._type_checking_depth > 0:
+            return
+        if target == root:
+            return  # the bare namespace package
+        target_pkg = self.config.package_of(target)
+        if target_pkg == self.package or self.allow_all:
+            return
+        if target_pkg not in self.allowed:
+            self.findings.append(Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule="DOM201",
+                message=(
+                    f"layering violation: {self.package} may not import "
+                    f"{target_pkg} (allowed: "
+                    f"{', '.join(sorted(self.allowed - {self.package, root})) or 'nothing'}); "
+                    f"add the edge to [tool.dominolint.layers] only with "
+                    f"a DESIGN.md rationale"
+                ),
+            ))
+
+
+def check_layering(tree: ast.AST, path: str, module: str,
+                   is_package: bool, config: Config) -> List[Finding]:
+    """All DOM2xx findings for one first-party module."""
+    package = config.package_of(module)
+    if package not in config.layers:
+        return [Finding(
+            path=path, line=1, col=0, rule="DOM202",
+            message=(
+                f"package {package} is not declared in "
+                f"[tool.dominolint.layers]; every repro package must "
+                f"state which layers it may depend on"
+            ),
+        )]
+    visitor = _LayeringVisitor(config, path, module, is_package)
+    visitor.visit(tree)
+    return visitor.findings

@@ -1,0 +1,138 @@
+"""dominolint's CLI: file discovery, rule dispatch, output, exit codes."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, TextIO
+
+from .config import Config, ConfigError, load_config
+from .determinism import check_determinism
+from .findings import Finding, Suppressions
+from .layering import check_layering
+from .schema import (SchemaError, SchemaRegistry, check_baseline,
+                     check_emissions, load_registry, write_baseline)
+
+#: Exit codes, matching the doctor CLI convention.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_BAD_INPUT = 2
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """All ``.py`` files under ``paths``, deterministically ordered."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        else:
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def lint_file(path: Path, config: Config,
+              registry: Optional[SchemaRegistry]) -> List[Finding]:
+    """All findings for one file (suppressions already applied).
+
+    Raises ``SyntaxError``/``OSError`` upward — unparseable input is
+    the caller's exit-2 case, not a finding.
+    """
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    rel = _relpath(path, config.root)
+    module = config.module_name(path)
+    findings: List[Finding] = []
+    if module is not None:
+        if config.in_sim_packages(module):
+            findings.extend(check_determinism(tree, rel))
+        findings.extend(check_layering(
+            tree, rel, module, is_package=path.name == "__init__.py",
+            config=config))
+        if registry is not None:
+            findings.extend(check_emissions(tree, rel, registry))
+    return Suppressions(source).filter(findings)
+
+
+def lint_paths(paths: List[Path], config: Config,
+               update_baseline: bool = False,
+               stderr: Optional[TextIO] = None) -> int:
+    """Lint ``paths``; print findings to ``stderr``; return exit code."""
+    if stderr is None:  # bind at call time so capture/redirection works
+        stderr = sys.stderr
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"dominolint: no such path: {path}", file=stderr)
+        return EXIT_BAD_INPUT
+
+    try:
+        registry: Optional[SchemaRegistry] = load_registry(config)
+    except SchemaError as exc:
+        print(f"dominolint: {exc}", file=stderr)
+        return EXIT_BAD_INPUT
+
+    findings: List[Finding] = []
+    bad_input = False
+    for path in iter_python_files(paths):
+        try:
+            findings.extend(lint_file(path, config, registry))
+        except SyntaxError as exc:
+            print(
+                f"dominolint: cannot parse {_relpath(path, config.root)}:"
+                f"{exc.lineno}: {exc.msg}", file=stderr)
+            bad_input = True
+        except OSError as exc:
+            print(f"dominolint: cannot read {path}: {exc}", file=stderr)
+            bad_input = True
+
+    if update_baseline:
+        write_baseline(registry, config)
+    else:
+        rel_events = _relpath(config.schema_events, config.root)
+        baseline_findings = check_baseline(registry, config, rel_events)
+        events_suppressions = Suppressions(config.schema_events.read_text())
+        findings.extend(events_suppressions.filter(baseline_findings))
+
+    for finding in sorted(set(findings)):
+        print(finding.render(), file=stderr)
+    if bad_input:
+        return EXIT_BAD_INPUT
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "dominolint: determinism, layering and telemetry-schema "
+            "checks for the DOMINO reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--update-schema-baseline", action="store_true",
+        help="rewrite the committed schema fingerprint from the live "
+             "events.py registry (run after a deliberate schema change)")
+    args = parser.parse_args(argv)
+    try:
+        config = load_config()
+    except ConfigError as exc:
+        print(f"dominolint: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    paths = [Path(p) for p in args.paths]
+    return lint_paths(paths, config,
+                      update_baseline=args.update_schema_baseline)

@@ -1,0 +1,398 @@
+"""DOM3xx — telemetry-schema rules.
+
+The trace schema's source of truth is the dataclass registry in
+:mod:`repro.telemetry.events`; the recorder's typed helpers and every
+emission site in ``src/`` must agree with it, and any change to an
+event's shape must bump ``SCHEMA_VERSION`` (older traces parse by
+defaulted fields; tooling refuses newer files — see ``jsonl.py``).
+
+The rules work on the *AST* of ``events.py``/``recorder.py``, never by
+importing them: the linter must not execute the code it judges, and
+must stay runnable on a tree whose imports are broken.
+
+DOM301
+    An emission names an event kind that is not in the registry.
+DOM302
+    An emission's shape disagrees with the schema: a typed-helper call
+    that does not bind to the helper's signature, a raw ring-buffer
+    tuple whose arity differs from the field count, or an ``emit``
+    record dict with missing/unknown fields.
+DOM303
+    The registry's shape fingerprint differs from the committed
+    baseline (``schema_baseline.json``) without a ``SCHEMA_VERSION``
+    change — or the version was bumped but the baseline not refreshed.
+    ``python -m repro.lint --update-schema-baseline`` rewrites it.
+
+Recognized emission forms (matching the recorder's three paths):
+
+* typed helpers — any call ``obj.<kind>(...)`` whose attribute name is
+  a registered kind (``tel.frame_tx(...)``);
+* raw tuples — ``self._append(("<kind>", v1, ...))`` inside the
+  recorder's hot path;
+* record dicts — ``emit({"ev": "<kind>", ...})``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .config import Config
+from .findings import Finding
+
+
+# ----------------------------------------------------------------------
+# Registry model, parsed from events.py
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EventShape:
+    """One event kind's schema: ordered fields and which have defaults."""
+
+    kind: str
+    fields: Tuple[str, ...]            # schema order, ``t`` first
+    defaulted: Tuple[str, ...]         # fields that may be omitted
+    line: int                          # class definition line
+
+
+@dataclass(frozen=True)
+class HelperSignature:
+    """A typed recorder helper's parameters (``self`` stripped)."""
+
+    name: str
+    params: Tuple[str, ...]
+    required: int                      # params without defaults
+    line: int
+
+
+@dataclass(frozen=True)
+class SchemaRegistry:
+    events_path: Path
+    version: int
+    version_line: int
+    shapes: Dict[str, EventShape]
+    helpers: Dict[str, HelperSignature]
+
+    def fingerprint(self) -> Dict[str, object]:
+        """The shape summary DOM303 compares against its baseline."""
+        return {
+            "schema_version": self.version,
+            "events": {
+                kind: list(shape.fields)
+                for kind, shape in sorted(self.shapes.items())
+            },
+        }
+
+
+class SchemaError(RuntimeError):
+    """events.py / recorder.py could not be parsed into a registry."""
+
+
+def _class_shapes(tree: ast.Module) -> Tuple[Dict[str, EventShape], int, int]:
+    """Extract event shapes plus (SCHEMA_VERSION, its line)."""
+    version: Optional[int] = None
+    version_line = 1
+    shapes: Dict[str, EventShape] = {}
+    base_fields: List[Tuple[str, bool]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SCHEMA_VERSION" and \
+                        isinstance(node.value, ast.Constant) and \
+                        isinstance(node.value.value, int):
+                    version = node.value.value
+                    version_line = node.lineno
+        if not isinstance(node, ast.ClassDef):
+            continue
+        kind: Optional[str] = None
+        own_fields: List[Tuple[str, bool]] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                own_fields.append((stmt.target.id, stmt.value is not None))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "KIND" \
+                            and isinstance(stmt.value, ast.Constant) \
+                            and isinstance(stmt.value.value, str):
+                        kind = stmt.value.value
+        bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+        if node.name == "TraceEvent":
+            base_fields = own_fields
+            continue
+        if "TraceEvent" not in bases or not kind:
+            continue
+        combined = [*base_fields, *own_fields]
+        shapes[kind] = EventShape(
+            kind=kind,
+            fields=tuple(name for name, _ in combined),
+            defaulted=tuple(name for name, has in combined if has),
+            line=node.lineno,
+        )
+    if version is None:
+        raise SchemaError("events.py defines no integer SCHEMA_VERSION")
+    if not shapes:
+        raise SchemaError("events.py defines no TraceEvent subclasses")
+    return shapes, version, version_line
+
+
+def _helper_signatures(tree: ast.Module,
+                       kinds: Dict[str, EventShape]) -> Dict[str, HelperSignature]:
+    """Typed-helper signatures from the recorder's ``TraceRecorder``."""
+    helpers: Dict[str, HelperSignature] = {}
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == "TraceRecorder"):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name in kinds:
+                args = stmt.args
+                params = tuple(a.arg for a in args.args[1:])  # drop self
+                helpers[stmt.name] = HelperSignature(
+                    name=stmt.name,
+                    params=params,
+                    required=len(params) - len(args.defaults),
+                    line=stmt.lineno,
+                )
+    return helpers
+
+
+def load_registry(config: Config) -> SchemaRegistry:
+    """Parse the schema registry out of events.py and recorder.py."""
+    try:
+        events_tree = ast.parse(config.schema_events.read_text())
+        recorder_tree = ast.parse(config.schema_recorder.read_text())
+    except (OSError, SyntaxError) as exc:
+        raise SchemaError(f"cannot load schema modules: {exc}") from exc
+    shapes, version, version_line = _class_shapes(events_tree)
+    helpers = _helper_signatures(recorder_tree, shapes)
+    missing = sorted(set(shapes) - set(helpers))
+    if missing:
+        raise SchemaError(
+            f"recorder.py lacks typed helpers for: {', '.join(missing)}"
+        )
+    return SchemaRegistry(
+        events_path=config.schema_events,
+        version=version,
+        version_line=version_line,
+        shapes=shapes,
+        helpers=helpers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Emission-site checking
+# ----------------------------------------------------------------------
+class _EmissionVisitor(ast.NodeVisitor):
+    def __init__(self, registry: SchemaRegistry, path: str):
+        self.registry = registry
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in self.registry.shapes:
+                self._check_helper_call(node, func.attr)
+            elif func.attr == "_append":
+                self._check_raw_tuple(node)
+            elif func.attr == "emit":
+                self._check_record_dict(node)
+        elif isinstance(func, ast.Name):
+            if func.id == "_append":
+                self._check_raw_tuple(node)
+            elif func.id == "emit":
+                self._check_record_dict(node)
+        self.generic_visit(node)
+
+    def _check_helper_call(self, node: ast.Call, kind: str) -> None:
+        helper = self.registry.helpers[kind]
+        if any(isinstance(a, ast.Starred) for a in node.args) or \
+                any(kw.arg is None for kw in node.keywords):
+            return  # *args/**kwargs: not statically checkable
+        bound = len(node.args)
+        if bound > len(helper.params):
+            self._flag(
+                node, "DOM302",
+                f"'{kind}' emission passes {bound} positional args but "
+                f"the typed helper takes at most {len(helper.params)} "
+                f"({', '.join(helper.params)})",
+            )
+            return
+        seen = set(helper.params[:bound])
+        for kw in node.keywords:
+            if kw.arg not in helper.params:
+                self._flag(
+                    node, "DOM302",
+                    f"'{kind}' emission passes unknown field '{kw.arg}'; "
+                    f"the schema's fields are: {', '.join(helper.params)}",
+                )
+                return
+            if kw.arg in seen:
+                self._flag(
+                    node, "DOM302",
+                    f"'{kind}' emission binds '{kw.arg}' twice",
+                )
+                return
+            seen.add(kw.arg)
+        missing = [p for p in helper.params[:helper.required]
+                   if p not in seen]
+        if missing:
+            self._flag(
+                node, "DOM302",
+                f"'{kind}' emission omits required field(s) "
+                f"{', '.join(missing)}; bump-safe optional fields need "
+                f"defaults in events.py",
+            )
+
+    def _check_raw_tuple(self, node: ast.Call) -> None:
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Tuple):
+            return
+        elements = node.args[0].elts
+        if not elements or not isinstance(elements[0], ast.Constant) or \
+                not isinstance(elements[0].value, str):
+            return
+        kind = elements[0].value
+        shape = self.registry.shapes.get(kind)
+        if shape is None:
+            self._flag(
+                node, "DOM301",
+                f"raw trace tuple names unknown event kind '{kind}'; "
+                f"register it in telemetry/events.py first",
+            )
+            return
+        got = len(elements) - 1
+        if got != len(shape.fields):
+            self._flag(
+                node, "DOM302",
+                f"raw '{kind}' tuple carries {got} values but the schema "
+                f"has {len(shape.fields)} fields "
+                f"({', '.join(shape.fields)}); the recorder materializes "
+                f"tuples by zipping schema order",
+            )
+
+    def _check_record_dict(self, node: ast.Call) -> None:
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Dict):
+            return
+        record = node.args[0]
+        keys: List[str] = []
+        kind: Optional[str] = None
+        for key_node, value_node in zip(record.keys, record.values):
+            if not (isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)):
+                return  # dynamic keys: not statically checkable
+            keys.append(key_node.value)
+            if key_node.value == "ev":
+                if not (isinstance(value_node, ast.Constant)
+                        and isinstance(value_node.value, str)):
+                    return
+                kind = value_node.value
+        if kind is None:
+            return  # not an event record
+        shape = self.registry.shapes.get(kind)
+        if shape is None:
+            self._flag(
+                node, "DOM301",
+                f"emit() record names unknown event kind '{kind}'; "
+                f"register it in telemetry/events.py first",
+            )
+            return
+        fields = set(shape.fields)
+        unknown = [k for k in keys if k != "ev" and k not in fields]
+        required = [f for f in shape.fields if f not in shape.defaulted]
+        missing = [f for f in required if f not in keys]
+        if unknown:
+            self._flag(
+                node, "DOM302",
+                f"emit() record for '{kind}' carries unknown field(s) "
+                f"{', '.join(unknown)}; the schema has: "
+                f"{', '.join(shape.fields)}",
+            )
+        elif missing:
+            self._flag(
+                node, "DOM302",
+                f"emit() record for '{kind}' omits required field(s) "
+                f"{', '.join(missing)}",
+            )
+
+
+def check_emissions(tree: ast.AST, path: str,
+                    registry: SchemaRegistry) -> List[Finding]:
+    """DOM301/DOM302 findings for one source file."""
+    visitor = _EmissionVisitor(registry, path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+# ----------------------------------------------------------------------
+# DOM303: the shape-change-needs-a-version-bump gate
+# ----------------------------------------------------------------------
+def check_baseline(registry: SchemaRegistry, config: Config,
+                   rel_events: str) -> List[Finding]:
+    """Compare the live registry against the committed fingerprint."""
+    baseline_path = config.schema_baseline
+    if not baseline_path.is_file():
+        return [Finding(
+            path=rel_events, line=registry.version_line, col=0,
+            rule="DOM303",
+            message=(
+                f"no schema baseline at "
+                f"{baseline_path.relative_to(config.root)}; create it "
+                f"with --update-schema-baseline"
+            ),
+        )]
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [Finding(
+            path=rel_events, line=registry.version_line, col=0,
+            rule="DOM303",
+            message=f"unreadable schema baseline: {exc}",
+        )]
+    live = registry.fingerprint()
+    if live == baseline:
+        return []
+    if live["events"] == baseline.get("events"):
+        # Only the version changed: a bump with no shape change is
+        # legal (it can cover semantic changes); refresh the baseline.
+        note = "version changed with no shape change"
+    elif live["schema_version"] == baseline.get("schema_version"):
+        return [Finding(
+            path=rel_events, line=registry.version_line, col=0,
+            rule="DOM303",
+            message=(
+                "event shapes changed but SCHEMA_VERSION did not; bump "
+                "it (new fields need defaults so old traces still "
+                "parse), then refresh the baseline with "
+                "--update-schema-baseline"
+            ),
+        )]
+    else:
+        note = "shapes and version both changed"
+    return [Finding(
+        path=rel_events, line=registry.version_line, col=0,
+        rule="DOM303",
+        message=(
+            f"schema baseline is stale ({note}); refresh it with "
+            f"--update-schema-baseline so future diffs are judged "
+            f"against the current shape"
+        ),
+    )]
+
+
+def write_baseline(registry: SchemaRegistry, config: Config) -> None:
+    """Rewrite the committed fingerprint from the live registry."""
+    payload = json.dumps(registry.fingerprint(), indent=2, sort_keys=True)
+    config.schema_baseline.write_text(payload + "\n")

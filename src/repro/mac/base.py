@@ -21,6 +21,7 @@ from ..sim.medium import Medium
 from ..sim.node import Node
 from ..sim.packet import Frame, FrameKind
 from ..sim.phy import PhyProfile
+from ..sim.radio import Radio
 from ..traffic.queueing import QueueSet
 
 DeliveryHandler = Callable[[Frame, float], None]
@@ -138,8 +139,11 @@ class Mac:
     # Helpers
     # ------------------------------------------------------------------
     @property
-    def radio(self):
-        return self.node.radio
+    def radio(self) -> Radio:
+        radio = self.node.radio
+        if radio is None:
+            raise RuntimeError(f"node {self.node.node_id} has no radio")
+        return radio
 
     def channel_busy(self) -> bool:
         return self.radio.channel_busy()

@@ -25,13 +25,15 @@ disturb the downlink schedule exactly as Sec. 1 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sched.rand_scheduler import RandScheduler
 from ..sim.engine import Simulator
 from ..sim.medium import Medium
 from ..sim.node import Node
+from ..sim.packet import Frame
 from ..sim.wire import WiredBackbone
+from ..traffic.queueing import MacQueue
 from ..topology.builder import Topology
 from ..topology.conflict_graph import build_conflict_graph
 from ..topology.links import Link
@@ -65,7 +67,7 @@ class CentaurApMac(DcfMac):
         if self._phase == self.IDLE and self._current is None:
             self._start_service()
 
-    def _grantable_queue(self):
+    def _grantable_queue(self) -> Optional[MacQueue]:
         for dst, credit in self._credits.items():
             if credit > 0 and self.queues.backlog_for(dst) > 0:
                 return self.queues.queue_for(dst)
@@ -88,7 +90,7 @@ class CentaurApMac(DcfMac):
     # ------------------------------------------------------------------
     # DCF service loop overrides
     # ------------------------------------------------------------------
-    def _on_enqueue(self, frame) -> None:
+    def _on_enqueue(self, frame: Frame) -> None:
         # New downlink data helps only if a grant covers it.
         if self._phase == self.IDLE and self._current is None:
             self._start_service()
@@ -217,7 +219,9 @@ def build_centaur_network(sim: Simulator, topology: Topology,
                           epoch_packets: int = 5,
                           fixed_backoff: int = DEFAULT_FIXED_BACKOFF,
                           wire_mean_us: float = 285.0,
-                          wire_std_us: float = 22.0):
+                          wire_std_us: float = 22.0,
+                          ) -> Tuple[Medium, Dict[int, DcfMac],
+                                     "CentaurController"]:
     """Medium, AP/client MACs, wire and controller in one call.
 
     APs get :class:`CentaurApMac` (granted, fixed backoff); clients get

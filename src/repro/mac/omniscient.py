@@ -14,7 +14,7 @@ benches is DOMINO's trigger/polling overhead.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import networkx as nx
 
@@ -114,7 +114,9 @@ class OmniscientCoordinator:
 
 def build_omniscient_network(sim: Simulator, topology: Topology,
                              queue_capacity: int = 100,
-                             payload_bytes: int = 512):
+                             payload_bytes: int = 512,
+                             ) -> Tuple[Medium, Dict[int, "OmniscientMac"],
+                                        "OmniscientCoordinator"]:
     """Medium + MACs + coordinator in one call."""
     medium = topology.build_medium(sim)
     macs = {

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.packet import Frame
 from ..topology.links import Link
+
+if TYPE_CHECKING:  # pragma: no cover - metrics layer stays below mac
+    from ..mac.base import Mac
 
 Flow = Tuple[int, int]
 
@@ -74,10 +77,10 @@ class FlowRecorder:
         self.first_delivery_us: Optional[float] = None
         self.last_delivery_us: float = 0.0
 
-    def attach(self, mac) -> None:
+    def attach(self, mac: "Mac") -> None:
         mac.add_delivery_handler(self.on_delivery)
 
-    def attach_all(self, macs: Iterable) -> None:
+    def attach_all(self, macs: Iterable["Mac"]) -> None:
         for mac in macs:
             self.attach(mac)
 

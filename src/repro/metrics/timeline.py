@@ -14,9 +14,13 @@ two timing results can be derived:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..topology.links import Link
+
+#: Optional carrier-sense test restricting misalignment to node pairs
+#: that actually share a collision domain.
+AudibleFn = Callable[[int, int], bool]
 
 
 @dataclass
@@ -49,7 +53,8 @@ class TimelineRecorder:
                 by_slot.setdefault(event.slot, []).append(event.start_us)
         return by_slot
 
-    def misalignment_by_slot(self, audible=None) -> Dict[int, float]:
+    def misalignment_by_slot(
+            self, audible: Optional[AudibleFn] = None) -> Dict[int, float]:
         """Max spread (us) of transmission starts within each slot.
 
         Fake transmissions count: they occupy airtime and pass timing
@@ -86,7 +91,8 @@ class TimelineRecorder:
             out[slot] = worst
         return out
 
-    def misalignment_series(self, n_slots: int, audible=None) -> List[float]:
+    def misalignment_series(self, n_slots: int,
+                            audible: Optional[AudibleFn] = None) -> List[float]:
         """Misalignment for slots 0..n_slots-1 (0 where undefined)."""
         table = self.misalignment_by_slot(audible=audible)
         return [table.get(i, 0.0) for i in range(n_slots)]

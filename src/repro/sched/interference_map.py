@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..sim.phy import PhyProfile, dbm_to_mw, mw_to_dbm
 from ..topology.links import Link
@@ -122,7 +122,7 @@ class InterferenceMap:
         receiver (slot-aligned semantics as in :meth:`conflicts`).
         """
         basic = self.profile.basic_rate_mbps
-        nodes_used: set = set()
+        nodes_used: Set[int] = set()
         for link in links:
             if link.src in nodes_used or link.dst in nodes_used:
                 return False

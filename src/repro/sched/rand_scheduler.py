@@ -12,12 +12,15 @@ Fig. 7(c) / Fig. 10.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import networkx as nx
 
 from ..topology.links import Link
 from .strict_schedule import StrictSchedule
+
+#: Additive-interference test over one slot's worth of links.
+SetCheck = Callable[[Sequence[Link]], bool]
 
 
 class RandScheduler:
@@ -31,8 +34,9 @@ class RandScheduler:
         The link universe in initial queue order (deterministic).
     """
 
-    def __init__(self, conflict_graph: nx.Graph, links: Sequence[Link],
-                 set_check=None):
+    def __init__(self, conflict_graph: "nx.Graph[Link]",
+                 links: Sequence[Link],
+                 set_check: Optional[SetCheck] = None):
         self.graph = conflict_graph
         self._queue: List[Link] = list(links)
         #: Optional additive-interference test over a whole slot;
@@ -56,7 +60,7 @@ class RandScheduler:
                 continue
             if any(self.graph.has_edge(link, chosen) for chosen in slot):
                 continue
-            if self.set_check is not None and not self.set_check(slot + [link]):
+            if self.set_check is not None and not self.set_check([*slot, link]):
                 continue
             slot.append(link)
         return slot

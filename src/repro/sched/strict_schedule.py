@@ -10,9 +10,12 @@ with perfect synchronization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence
 
 from ..topology.links import Link
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    import networkx as nx
 
 
 @dataclass
@@ -49,7 +52,7 @@ class StrictSchedule:
                 counts[link] = counts.get(link, 0) + 1
         return counts
 
-    def validate_against(self, conflict_graph) -> None:
+    def validate_against(self, conflict_graph: "nx.Graph[Link]") -> None:
         """Raise ``ValueError`` if any slot contains conflicting links."""
         import itertools
         for idx, slot in enumerate(self.slots):

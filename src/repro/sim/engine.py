@@ -17,10 +17,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
+from ..telemetry import MetricsRegistry, wallclock
 
 
 class Event:
@@ -34,7 +34,8 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_live")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple,
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...],
                  live: Optional[List[int]] = None):
         self.time = time
         self.seq = seq
@@ -53,7 +54,12 @@ class Event:
                 self._live[0] -= 1
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
+        # Exact comparison is deliberate here: the heap tiebreak must
+        # treat bit-identical timestamps (same float sums in the same
+        # order, the determinism contract) as equal so the sequence
+        # number decides — an epsilon would *introduce* order
+        # sensitivity.  dominolint: disable=DOM104
+        if self.time != other.time:  # dominolint: disable=DOM104
             return self.time < other.time
         return self.seq < other.seq
 
@@ -109,13 +115,15 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule_at(self.now + delay, fn, *args)
 
-    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise SimulationError(
@@ -140,7 +148,10 @@ class Simulator:
         self._running = True
         tel = self._telemetry
         started = self._events_processed
-        wall_start = time.perf_counter() if tel.enabled else 0.0
+        # Wall time is read through telemetry's accessor (never `time`
+        # directly — DOM101): the readings feed the metrics registry
+        # only, so the exported trace stays deterministic per seed.
+        wall_start = wallclock.perf_counter() if tel.enabled else 0.0
         try:
             if self.profile_enabled:
                 self._drain_profiled(until)
@@ -153,7 +164,7 @@ class Simulator:
                 # Event-loop throughput goes to the metrics registry
                 # only: wall-clock numbers must never enter the trace
                 # (the exported trace is deterministic per seed).
-                elapsed = time.perf_counter() - wall_start
+                elapsed = wallclock.perf_counter() - wall_start
                 processed = self._events_processed - started
                 metrics = tel.metrics
                 metrics.counter("engine.events").inc(processed)
@@ -193,7 +204,7 @@ class Simulator:
         pays nothing for the feature.
         """
         sites = self._profile_sites
-        clock = time.perf_counter
+        clock = wallclock.perf_counter
         while self._heap:
             event = self._heap[0]
             if event.time > until:
@@ -215,7 +226,7 @@ class Simulator:
             entry[0] += 1
             entry[1] += dt
 
-    def _publish_profile(self, metrics) -> None:
+    def _publish_profile(self, metrics: MetricsRegistry) -> None:
         """Surface the per-site totals through the metrics registry.
 
         Gauges (last-write-wins, set to the running totals) so calling

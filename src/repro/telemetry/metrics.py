@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Union
+from typing import Any, Deque, Dict, Iterator, List, Optional, Type, Union
 
 Number = Union[int, float]
 
@@ -137,7 +137,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
 
-    def _get(self, name: str, cls, **kwargs) -> Metric:
+    def _get(self, name: str, cls: Type[Metric], **kwargs: Any) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, **kwargs)
@@ -163,7 +163,7 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._metrics))
 
     def snapshot(self) -> Dict[str, Union[float, Dict[str, float]]]:

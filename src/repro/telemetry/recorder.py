@@ -29,13 +29,13 @@ overhead benchmark (<20 %).
 from __future__ import annotations
 
 from collections import deque
-from typing import (IO, TYPE_CHECKING, Deque, Iterator, List, Optional,
-                    Union)
+from typing import (IO, TYPE_CHECKING, Any, Deque, Iterable, Iterator, List,
+                    Optional, Type, Union)
 
 from . import jsonl
 from .events import EVENT_TYPES, required_fields
 from .log import get_logger
-from .metrics import MetricsRegistry
+from .metrics import Metric, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - the recorder only duck-types
     from ..sim.packet import Frame  # Frame; no runtime sim dependency
@@ -65,7 +65,7 @@ class _NullMetricsRegistry(MetricsRegistry):
     quiet.
     """
 
-    def _get(self, name, cls, **kwargs):
+    def _get(self, name: str, cls: Type[Metric], **kwargs: Any) -> Metric:
         global _NULL_METRICS_WARNED
         if not _NULL_METRICS_WARNED:
             _NULL_METRICS_WARNED = True
@@ -97,39 +97,53 @@ class NullRecorder:
 
     # -- typed helpers (all no-ops, same signatures as TraceRecorder;
     # every helper returns the new event's id, which here is None) ----
-    def frame_tx(self, t, node, frame, airtime_us):
+    def frame_tx(self, t: float, node: int, frame: "Frame",
+                 airtime_us: float) -> None:
         return None
 
-    def frame_rx(self, t, node, frame):
+    def frame_rx(self, t: float, node: int, frame: "Frame") -> None:
         return None
 
-    def frame_drop(self, t, node, frame, reason):
+    def frame_drop(self, t: float, node: int, frame: "Frame",
+                   reason: str) -> None:
         return None
 
-    def sig_detect(self, t, node, src, slot, sinr_db, combined, detected,
-                   p=None, cause=None):
+    def sig_detect(self, t: float, node: int, src: int, slot: int,
+                   sinr_db: float, combined: int, detected: bool,
+                   p: Optional[float] = None,
+                   cause: Optional[int] = None) -> None:
         return None
 
-    def trigger_fire(self, t, node, slot, targets, rop, polls, cause=None):
+    def trigger_fire(self, t: float, node: int, slot: int,
+                     targets: Iterable[int], rop: bool,
+                     polls: Iterable[int],
+                     cause: Optional[int] = None) -> None:
         return None
 
-    def backup_trigger(self, t, node, slot, reason):
+    def backup_trigger(self, t: float, node: int, slot: int,
+                       reason: str) -> None:
         return None
 
-    def slot_exec(self, t, node, slot, dst, fake, cause=None, via=None):
+    def slot_exec(self, t: float, node: int, slot: int, dst: int,
+                  fake: bool, cause: Optional[int] = None,
+                  via: Optional[str] = None) -> None:
         return None
 
-    def rop_poll(self, t, node, slot, poll_set, cause=None):
+    def rop_poll(self, t: float, node: int, slot: int, poll_set: int,
+                 cause: Optional[int] = None) -> None:
         return None
 
-    def rop_decode(self, t, node, decoded, failed, slot=None, low_snr=0,
-                   blocked=0, cause=None):
+    def rop_decode(self, t: float, node: int, decoded: int, failed: int,
+                   slot: Optional[int] = None, low_snr: int = 0,
+                   blocked: int = 0, cause: Optional[int] = None) -> None:
         return None
 
-    def sched_dispatch(self, t, batch, first_slot, last_slot, slots):
+    def sched_dispatch(self, t: float, batch: int, first_slot: int,
+                       last_slot: int, slots: int) -> None:
         return None
 
-    def batch_start(self, t, batch, node, cause=None):
+    def batch_start(self, t: float, batch: int, node: int,
+                    cause: Optional[int] = None) -> None:
         return None
 
 
@@ -296,8 +310,9 @@ class TraceRecorder(NullRecorder):
         self.emitted = eid + 1
         return eid
 
-    def trigger_fire(self, t: float, node: int, slot: int, targets,
-                     rop: bool, polls,
+    def trigger_fire(self, t: float, node: int, slot: int,
+                     targets: Iterable[int], rop: bool,
+                     polls: Iterable[int],
                      cause: Optional[int] = None) -> int:
         # Sets are captured as-is (immutable frozensets in practice)
         # and sorted at materialize time.

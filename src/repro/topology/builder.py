@@ -59,8 +59,13 @@ class Topology:
     name: str = "topology"
 
     def interference_map(self, margin_db: float = 3.0) -> "InterferenceMap":
-        from ..sched.interference_map import InterferenceMap  # local: avoids
-        # a topology <-> sched import cycle when either package loads first
+        # Deliberate upward edge, deferred to call time: sched sits
+        # above topology in the layering DAG (it consumes conflict
+        # graphs), so the convenience accessor here must lazy-import to
+        # avoid a topology <-> sched cycle when either package loads
+        # first.  Suppressed rather than added to the layers table so
+        # the table stays a DAG.
+        from ..sched.interference_map import InterferenceMap  # dominolint: disable=DOM201
         return InterferenceMap(self.trace.rss_fn(), self.profile,
                                margin_db=margin_db)
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set
 
 import networkx as nx
+import numpy as np
 
 
 def two_hop_graph(hearing: nx.Graph) -> nx.Graph:
@@ -102,7 +103,7 @@ class ObservationStore:
     def count(self) -> int:
         return sum(len(v) for v in self.observations.values())
 
-    def apply_to_matrix(self, matrix) -> int:
+    def apply_to_matrix(self, matrix: "np.ndarray") -> int:
         """Write observations into an RSS matrix (tx row, rx column).
 
         Pairs never observed keep their previous value.  Returns the

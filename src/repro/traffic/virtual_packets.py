@@ -112,7 +112,7 @@ class VirtualPacketizer:
         out: List[Frame] = []
         pending: List[Frame] = []
 
-        def flush():
+        def flush() -> None:
             if not pending:
                 return
             if len(pending) == 1:

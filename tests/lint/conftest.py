@@ -1,0 +1,41 @@
+"""Shared plumbing for the dominolint test suite.
+
+The linter itself is pure stdlib, but its config loader needs
+``tomllib`` (Python >= 3.11) — on older interpreters the whole
+directory skips, mirroring the CI lint job's 3.12 pin.
+"""
+
+import io
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+pytest.importorskip("tomllib", reason="dominolint reads pyproject.toml "
+                                      "via tomllib (Python >= 3.11)")
+
+from repro.lint import Config, lint_paths, load_config  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+PROJ = FIXTURES / "proj"
+PROJ_STALE = FIXTURES / "proj_stale"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(paths: List[Path], config: Config,
+             update_baseline: bool = False) -> Tuple[int, str]:
+    """Run the linter in-process; return (exit_code, stderr_text)."""
+    stream = io.StringIO()
+    code = lint_paths([Path(p) for p in paths], config,
+                      update_baseline=update_baseline, stderr=stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture(scope="session")
+def proj_config() -> Config:
+    return load_config(PROJ)
+
+
+@pytest.fixture(scope="session")
+def stale_config() -> Config:
+    return load_config(PROJ_STALE)

@@ -1,0 +1,9 @@
+"""DOM301 fixture: emissions naming an unregistered event kind."""
+
+
+def raw(rec):
+    rec._append(("pong", 0.0, 1))
+
+
+def record(tel):
+    tel.emit({"ev": "pong", "t": 0.0})

@@ -1,0 +1,17 @@
+"""DOM302 fixture: emissions whose shape disagrees with the schema."""
+
+
+def overflow(tel):
+    tel.ping(0.0, 1, "x", 9)
+
+
+def unknown_field(tel):
+    tel.ping(0.0, 1, flavour="?")
+
+
+def missing_required(tel):
+    tel.emit({"ev": "ping", "t": 0.0})
+
+
+def short_tuple(rec):
+    rec._append(("ping", 0.0))

@@ -1,0 +1,17 @@
+"""Compliant emission sites: helper call, raw tuple, record dict."""
+
+
+def typed(tel):
+    return tel.ping(0.0, 1)
+
+
+def keyword(tel):
+    return tel.ping(t=0.0, node=1, note="ok")
+
+
+def raw(rec):
+    rec._append(("ping", 0.0, 1, ""))
+
+
+def record(tel):
+    tel.emit({"ev": "ping", "t": 0.0, "node": 1})

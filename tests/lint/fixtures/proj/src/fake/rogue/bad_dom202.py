@@ -1,0 +1,3 @@
+"""DOM202 fixture: lives in a package missing from the layers table."""
+
+VALUE = 1

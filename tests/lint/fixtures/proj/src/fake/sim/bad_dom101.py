@@ -1,0 +1,7 @@
+"""DOM101 fixture: wall-clock reads inside sim logic."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

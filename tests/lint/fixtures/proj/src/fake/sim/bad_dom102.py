@@ -1,0 +1,11 @@
+"""DOM102 fixture: process-global / unseeded randomness."""
+
+import random
+
+
+def pick(values):
+    return values[int(random.random() * len(values))]
+
+
+def fresh_rng():
+    return random.Random()

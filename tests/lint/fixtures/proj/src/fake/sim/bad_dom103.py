@@ -1,0 +1,12 @@
+"""DOM103 fixture: iteration over unordered sets."""
+
+
+def drain(extra):
+    total = 0
+    for item in {"b", "a", "c"}:
+        total += len(item)
+    return total
+
+
+def tags(values):
+    return [v for v in set(values)]

@@ -1,0 +1,5 @@
+"""DOM104 fixture: exact equality between float timestamps."""
+
+
+def due(now, t0):
+    return now == t0

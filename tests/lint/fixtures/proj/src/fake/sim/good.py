@@ -1,0 +1,15 @@
+"""Compliant sim-layer module: every determinism rule satisfied."""
+
+import random
+
+
+def pick(rng: random.Random, values):
+    return rng.choice(sorted(values))
+
+
+def drain(members: set):
+    return [item for item in sorted(members)]
+
+
+def due(now: float, deadline: float, eps: float = 1e-9) -> bool:
+    return abs(now - deadline) <= eps

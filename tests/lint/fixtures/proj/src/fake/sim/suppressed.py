@@ -1,0 +1,7 @@
+"""Suppression fixture: a real violation silenced in place."""
+
+import time  # dominolint: disable=DOM101
+
+
+def stamp() -> float:
+    return time.time()  # dominolint: disable=DOM101

@@ -1,0 +1,14 @@
+"""Fixture schema registry: one event kind, one defaulted field."""
+
+SCHEMA_VERSION = 1
+
+
+class TraceEvent:
+    t: float
+
+
+class PingEvent(TraceEvent):
+    KIND = "ping"
+
+    node: int
+    note: str = ""

@@ -1,0 +1,12 @@
+"""Fixture recorder: one typed helper per registered kind."""
+
+
+class TraceRecorder:
+    def __init__(self):
+        self.buffer = []
+
+    def _append(self, raw):
+        self.buffer.append(raw)
+
+    def ping(self, t, node, note=""):
+        self._append(("ping", t, node, note))

@@ -1,0 +1,7 @@
+"""Compliant util module: depends on nothing first-party."""
+
+import math
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    return math.fsum([max(lo, min(hi, value))])

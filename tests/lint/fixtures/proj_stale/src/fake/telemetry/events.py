@@ -1,0 +1,14 @@
+"""Fixture schema whose shape changed without a version bump."""
+
+SCHEMA_VERSION = 1
+
+
+class TraceEvent:
+    t: float
+
+
+class PingEvent(TraceEvent):
+    KIND = "ping"
+
+    node: int
+    burst: int = 0

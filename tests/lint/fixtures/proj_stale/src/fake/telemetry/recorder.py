@@ -1,0 +1,12 @@
+"""Fixture recorder matching the (changed) ping shape."""
+
+
+class TraceRecorder:
+    def __init__(self):
+        self.buffer = []
+
+    def _append(self, raw):
+        self.buffer.append(raw)
+
+    def ping(self, t, node, burst=0):
+        self._append(("ping", t, node, burst))
