@@ -1,0 +1,152 @@
+"""Online-controller load bench: churn at scale + latency gate.
+
+Drives the controller service through a seeded 40-node workload —
+queue-heavy churn with membership turnover, then RSS wobble on two
+clients and a mobility walk — twice:
+
+* **replay** — the deterministic ``run_events`` driver, which is what
+  the gated metrics come from: epoch boundaries are a pure function
+  of the scenario, so ``incremental_hit_rate`` is a deterministic
+  simulation output and ``revision_p50_ms`` / ``revision_p99_ms``
+  measure exactly the incremental path (apply + revise; the equality
+  oracle's from-scratch recomputes run outside the timed window);
+* **live** — the asyncio loop fed by ``SERVICE_BENCH_PRODUCERS``
+  concurrent producers (default 2), proving the daemon survives the
+  same volume with interleaved arrival and periodic oracle checks.
+
+``SERVICE_CHURN_UPDATES`` scales the churn stream (default 10_000;
+the generator handles >= 10**5 for soak runs).  Every 16th epoch is
+verified against a from-scratch recompute in both passes — a digest
+mismatch is a correctness bug and fails the bench outright.
+
+Numbers land in ``BENCH_service.json`` (latest snapshot) and the
+``service_loadtest`` entry of ``BENCH_history.jsonl``, where
+``revision_p99_ms`` (lower) and ``incremental_hit_rate`` (higher)
+join the trend gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.service import (ControllerService, IncrementalController,
+                           build_scenario)
+
+import trend
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(_ROOT, "BENCH_service.json")
+
+UPDATES = int(os.environ.get("SERVICE_CHURN_UPDATES", "10000"))
+PRODUCERS = int(os.environ.get("SERVICE_BENCH_PRODUCERS", "2"))
+CHECK_EVERY = 16
+
+# Churn at a 40 us mean gap spans UPDATES * 40 us of virtual time;
+# the wobble / mobility phases start just past that so the cache sees
+# the steady-state single-link regime the service is built for.
+_CHURN_SPAN_US = UPDATES * 40.0
+
+
+def loadtest_scenario():
+    return build_scenario({
+        "name": f"loadtest-{UPDATES}",
+        "topology": {"kind": "random_t", "m": 10, "n": 3, "seed": 2},
+        "config": {"batch_slots": 12, "debounce_events": 64,
+                   "epoch_gap_us": 2000.0},
+        "sources": [
+            {"kind": "churn", "updates": UPDATES, "seed": 11},
+            {"kind": "rss_wobble", "client": 2, "updates": 200,
+             "start_us": _CHURN_SPAN_US + 50_000.0, "gap_us": 2000.0,
+             "jitter_db": 0.75},
+            {"kind": "rss_wobble", "client": 5, "updates": 200,
+             "start_us": _CHURN_SPAN_US + 51_000.0, "gap_us": 2000.0,
+             "jitter_db": 0.75},
+            {"kind": "mobility", "node": 1, "to": [400.0, 400.0],
+             "steps": 40, "interval_us": 4000.0,
+             "start_us": _CHURN_SPAN_US + 500_000.0},
+        ],
+    })
+
+
+async def _live_run(scenario):
+    engine = IncrementalController(scenario.make_state(), scenario.config)
+    service = ControllerService(engine, check_every=CHECK_EVERY)
+
+    async def producer(lane):
+        # Round-robin lanes keep submissions in rough global time
+        # order while still exercising concurrent interleaving.
+        for i, event in enumerate(scenario.events[lane::PRODUCERS]):
+            await service.submit(event)
+            if i % 13 == 0:
+                await asyncio.sleep(0)
+
+    async def producers():
+        await asyncio.gather(*(producer(k) for k in range(PRODUCERS)))
+        await service.close()
+
+    stats, _ = await asyncio.gather(service.run(), producers())
+    return service, stats
+
+
+def test_service_loadtest():
+    scenario = loadtest_scenario()
+    n_events = len(scenario.events)
+
+    # Deterministic replay: the gated numbers.
+    engine = IncrementalController(scenario.make_state(), scenario.config)
+    service = ControllerService(engine, check_every=CHECK_EVERY)
+    t0 = time.perf_counter()
+    stats = service.run_events(scenario.events)
+    replay_wall_s = time.perf_counter() - t0
+
+    assert stats.events == n_events
+    assert stats.oracle_checks >= stats.revisions // CHECK_EVERY
+    versions = [r.version for r in service.revisions]
+    assert versions == sorted(versions)
+
+    # Live daemon under concurrent producers: same volume, same
+    # oracle, arrival-dependent epochs.
+    t0 = time.perf_counter()
+    live_service, live_stats = asyncio.run(_live_run(scenario))
+    live_wall_s = time.perf_counter() - t0
+    assert live_stats.events == n_events
+    assert live_stats.oracle_checks > 0
+    live_versions = [r.version for r in live_service.revisions]
+    assert live_versions == sorted(live_versions)
+
+    report = {
+        "workload": f"T(10,3) churn x {UPDATES} + 2 wobble streams "
+                    f"+ mobility walk ({n_events} events)",
+        "events": n_events,
+        "producers": PRODUCERS,
+        "replay_revisions": stats.revisions,
+        "replay_wall_s": round(replay_wall_s, 4),
+        "revision_p50_ms": round(stats.revision_p50_ms, 4),
+        "revision_p99_ms": round(stats.revision_p99_ms, 4),
+        "revision_mean_ms": round(stats.revision_mean_ms, 4),
+        "incremental_hit_rate": round(stats.incremental_hit_rate, 4),
+        "conflict_checks": stats.conflict_checks,
+        "oracle_checks": stats.oracle_checks + live_stats.oracle_checks,
+        "live_revisions": live_stats.revisions,
+        "live_wall_s": round(live_wall_s, 4),
+        "live_events_per_sec": round(n_events / live_wall_s, 1)
+        if live_wall_s else 0.0,
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    trend.append("service_loadtest", {
+        "events": n_events,
+        "revision_p50_ms": round(stats.revision_p50_ms, 4),
+        "revision_p99_ms": round(stats.revision_p99_ms, 4),
+        "incremental_hit_rate": round(stats.incremental_hit_rate, 4),
+        "live_events_per_sec": report["live_events_per_sec"],
+    })
+
+    # The wobble/mobility tail must actually replay from cache — a
+    # hit rate collapse means revalidation got too aggressive.
+    assert stats.incremental_hit_rate > 0.05, report

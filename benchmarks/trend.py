@@ -56,6 +56,11 @@ GATED_METRICS: Dict[str, str] = {
     # so a move means the protocol/scheduling code changed.
     "critical_makespan_p50_ms": "lower",
     "critical_makespan_p95_ms": "lower",
+    # Online-controller loadtest: revision latency must stay flat and
+    # the conversion-cache hit rate is a deterministic output of the
+    # seeded workload — a drop means cache revalidation regressed.
+    "revision_p99_ms": "lower",
+    "incremental_hit_rate": "higher",
 }
 
 #: History below this many prior entries is not gated — a median of

@@ -45,11 +45,77 @@ from ..topology.links import Link
 from .relative_schedule import RelativeBatch, RelativeSlot, TriggerDuty
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import Callable, FrozenSet, Iterable
+
     from ..sched.strict_schedule import StrictSchedule
     from .converter import ConverterConfig
 
 #: Opaque-but-hashable composite cache key (see :meth:`ConversionCache.key`).
 CacheKey = Tuple[object, ...]
+
+
+def key_links(key: CacheKey) -> "FrozenSet[Link]":
+    """Every link a cache key references.
+
+    Covers the connector entries, the strict schedule and the per-AP
+    association links — the named inputs of the memoized conversion.
+    Links that only appear in the *output* template (accepted fake
+    links) are not part of the key; see :func:`cached_links`.
+    """
+    _topology, connector_key, strict_key, _rop_aps, links_key = key
+    links = set()
+    if connector_key is not None:
+        links.update(Link(src, dst) for src, dst, _fake in connector_key)
+    for slot in strict_key:
+        links.update(Link(src, dst) for src, dst in slot)
+    for _ap, ap_link_pairs in links_key:
+        links.update(Link(src, dst) for src, dst in ap_link_pairs)
+    return frozenset(links)
+
+
+def key_semantic_links(key: CacheKey) -> "FrozenSet[Link]":
+    """The links whose *RSS* the memoized conversion read directly.
+
+    Connector and strict-schedule links feed trigger assignment and
+    fake-insertion SINR tests; the per-AP association table
+    (``links_key``) by contrast is consulted only through conflict-
+    graph edges and ``shares_node`` during ROP sharing, so an RSS
+    change on one of *those* links invalidates an entry only if it
+    flipped such an edge (see
+    :meth:`repro.core.converter.ScheduleConverter.revalidate_cache`).
+    """
+    _topology, connector_key, strict_key, _rop_aps, _links_key = key
+    links = set()
+    if connector_key is not None:
+        links.update(Link(src, dst) for src, dst, _fake in connector_key)
+    for slot in strict_key:
+        links.update(Link(src, dst) for src, dst in slot)
+    return frozenset(links)
+
+
+def key_ap_owner(key: CacheKey) -> Dict[Link, int]:
+    """Association link -> owning AP, from the key's per-AP table."""
+    owner: Dict[Link, int] = {}
+    for ap, ap_link_pairs in key[4]:
+        for src, dst in ap_link_pairs:
+            owner[Link(src, dst)] = ap
+    return owner
+
+
+def key_rop_aps(key: CacheKey) -> "FrozenSet[int]":
+    """The ROP AP ids a cache key references."""
+    return frozenset(key[3])
+
+
+def cached_links(entry: CachedConversion) -> "FrozenSet[Link]":
+    """Every link appearing in a stored template's slots.
+
+    A superset of the key's strict links: fake links the conversion
+    *accepted* live only in the output batch, and a replay re-emits
+    them — so invalidation must look here too, not just at the key.
+    """
+    return frozenset(e.link for slot in entry.batch.slots
+                     for e in slot.entries)
 
 
 def conversion_topology_key(rss_matrix: np.ndarray, links: Sequence[Link],
@@ -153,6 +219,64 @@ class ConversionCache:
         """Invalidate by rekeying: entries under the old control-plane
         hash can never match again."""
         self.topology_key = topology_key
+
+    def invalidate_link(self, link: Link) -> int:
+        """Evict every entry that involves ``link``; keep the rest.
+
+        "Involves" covers both the key (connector, strict schedule,
+        ROP association links) and the stored template (a fake link
+        accepted into the output would be re-emitted by a replay).
+        Entries over disjoint chains are untouched — the regression
+        tests pin that invalidating link *i* never costs unrelated
+        conversions their hits.  Returns the number evicted.
+        """
+        return self.invalidate_links((link,))
+
+    def invalidate_links(self, links: "Iterable[Link]") -> int:
+        dirty = frozenset(links)
+        if not dirty:
+            return 0
+        stale = [key for key, entry in self._entries.items()
+                 if not dirty.isdisjoint(key_links(key))
+                 or not dirty.isdisjoint(cached_links(entry))]
+        for key in stale:
+            del self._entries[key]
+        if stale and self._trace.enabled:
+            self._trace.metrics.gauge("converter.cache.entries").set(
+                len(self._entries))
+        return len(stale)
+
+    def refine_topology(
+            self, topology_key: str,
+            keep: "Callable[[CacheKey, CachedConversion], bool]",
+    ) -> Tuple[int, int]:
+        """Partial rekey: migrate still-valid entries, evict the rest.
+
+        The incremental controller's counterpart to
+        :meth:`set_topology`.  After a localized control-plane change
+        (one node's RSS row, one client joining) the new topology key
+        would orphan *every* entry even though most conversions are
+        unaffected.  Instead, each entry is offered to ``keep`` —
+        the converter's dirty-region judgement — and survivors are
+        re-filed under the new key with their FIFO order preserved,
+        so untouched chains keep replaying from cache.
+
+        Returns ``(kept, evicted)``.
+        """
+        migrated: "OrderedDict[CacheKey, CachedConversion]" = OrderedDict()
+        kept = evicted = 0
+        for key, entry in self._entries.items():
+            if keep(key, entry):
+                migrated[(topology_key,) + tuple(key[1:])] = entry
+                kept += 1
+            else:
+                evicted += 1
+        self._entries = migrated
+        self.topology_key = topology_key
+        if self._trace.enabled:
+            self._trace.metrics.gauge("converter.cache.entries").set(
+                len(self._entries))
+        return kept, evicted
 
     def key(self, connector: Optional[RelativeSlot], strict: "StrictSchedule",
             rop_aps: Sequence[int],

@@ -30,14 +30,17 @@ batch and reported back for rescheduling (rare once fakes are in).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 import networkx as nx
 
 from ..sched.interference_map import InterferenceMap
 from ..sched.strict_schedule import StrictSchedule
 from ..topology.links import Link
-from .conversion_cache import CachedConversion, ConversionCache, clone_batch
+from .conversion_cache import (CachedConversion, ConversionCache, CacheKey,
+                               cached_links, clone_batch, key_ap_owner,
+                               key_rop_aps, key_semantic_links)
 from .relative_schedule import (RelativeBatch, RelativeSlot, SlotEntry,
                                 TriggerDuty)
 
@@ -119,6 +122,219 @@ class ScheduleConverter:
         traffic, so the next batch self-starts like the very first.
         """
         self._connector = None
+
+    def fork_preview(self, imap: InterferenceMap, conflict_graph: nx.Graph,
+                     fake_candidates: Sequence[Link]) -> "ScheduleConverter":
+        """Uncached converter at the same stream position.
+
+        The fork starts from a deep-enough clone of the retained
+        connector and copies the slot/batch counters, so converting
+        the next strict batch through it yields exactly what *this*
+        converter would emit — without touching this converter's
+        state or the shared cache.  The online controller's equality
+        oracle runs its from-scratch recompute through such a fork.
+        """
+        forked = ScheduleConverter(imap, conflict_graph, fake_candidates,
+                                   config=self.config, cache=None)
+        if self._connector is not None:
+            forked._connector = RelativeSlot(
+                index=self._connector.index,
+                entries=list(self._connector.entries),
+                rop_after=list(self._connector.rop_after))
+        forked._next_slot_index = self._next_slot_index
+        forked._batch_id = self._batch_id
+        return forked
+
+    def purge_links(self, links: Iterable[Link]) -> int:
+        """Drop departed links from the retained connector slot.
+
+        When a client disassociates mid-run its links vanish from the
+        universe, but the connector — the previous batch's last slot —
+        may still carry them; the next conversion would then assign
+        trigger duties to a node that left.  The connector is replaced
+        (not mutated: the emitted batch still owns the original slot)
+        with the surviving entries; if none survive it is reset and the
+        next batch self-starts.  Returns the number of entries dropped.
+        """
+        connector = self._connector
+        if connector is None:
+            return 0
+        gone = frozenset(links)
+        if not gone:
+            return 0
+        kept = [e for e in connector.entries
+                if e.link not in gone]
+        dropped = len(connector.entries) - len(kept)
+        if dropped == 0:
+            return 0
+        if not kept:
+            self._connector = None
+        else:
+            self._connector = RelativeSlot(index=connector.index,
+                                           entries=kept,
+                                           rop_after=list(connector.rop_after))
+        return dropped
+
+    def revalidate_cache(self, topology_key: str,
+                         dirty_links: Iterable[Link],
+                         dirty_nodes: Iterable[int],
+                         changed_pairs: Iterable[Tuple[Link, Link]] = (),
+                         ) -> Tuple[int, int]:
+        """Migrate the conversion cache across a *localized* change.
+
+        Must be called after the interference map / conflict graph /
+        ``fake_candidates`` already reflect the new control plane.  An
+        entry survives (and is re-filed under ``topology_key``) iff a
+        fresh conversion of its inputs would still reproduce its
+        template byte for byte:
+
+        * **rule 1** — no dirty link appears among its connector
+          entries, strict links or template slots (incl. accepted
+          fakes).  These are the links whose RSS feeds trigger
+          assignment and fake-insertion SINR tests directly; it also
+          pins every template *participant* clean, because any
+          universe link touching a dirty node is itself dirty;
+        * **rule 2** — no dirty node is among its polled ROP APs
+          (poll triggering reads RSS toward the AP, and AP/AP
+          audibility gates poll sharing, even when no AP link is
+          scheduled);
+        * **rule 3** — no dirty fake *candidate* would newly be
+          accepted into one of its slots (rule 1 guarantees dirty
+          candidates were rejected everywhere in the template, so
+          divergence can only be a rejection flipping to acceptance);
+        * **rule 4** — no *flipped* conflict edge (``changed_pairs``,
+          from :func:`repro.topology.conflict_graph.update_conflict_graph`)
+          changes a ROP sharing verdict between two distinct polled
+          APs.  The per-AP association table is consulted only as the
+          OR over ``graph.has_edge`` / ``shares_node`` of the two
+          APs' link pairs, so a flip is invisible while any *other*
+          pair of the same two cells still conflicts — only a flip
+          that toggles that OR (re-evaluated exactly, with the
+          pre-flip edge values restored) evicts.
+
+        Everything else the conversion reads — pairwise conflicts,
+        additive SINR sums, trigger RSS orderings — involves only
+        template links/nodes, which rules 1–2 keep clean, so those
+        reads are untouched by construction.  Returns
+        ``(kept, evicted)``; ``(0, 0)`` when the converter runs
+        uncached.
+        """
+        cache = self.cache
+        if cache is None:
+            return (0, 0)
+        dirty_link_set = frozenset(dirty_links)
+        dirty_node_set = frozenset(dirty_nodes)
+        dirty_candidates = [cand for cand in self.fake_candidates
+                            if cand in dirty_link_set]
+        flipped = [(u, v) for u, v in changed_pairs
+                   if not u.shares_node(v)]
+        flipped_pairs = {frozenset((u, v)) for u, v in flipped}
+        # Sharing-verdict changes are a function of the key's per-AP
+        # link table only, so memoize per links_key component.
+        sharing_changed_memo: Dict[object, bool] = {}
+
+        def sharing_changed(key: CacheKey) -> bool:
+            links_component = key[4]
+            cached = sharing_changed_memo.get(links_component)
+            if cached is not None:
+                return cached
+            owner = key_ap_owner(key)
+            table: Dict[int, List[Link]] = {}
+            for link, ap in owner.items():
+                table.setdefault(ap, []).append(link)
+            changed = any(
+                self._sharing_verdict_flipped(owner.get(u), owner.get(v),
+                                              table, flipped_pairs)
+                for u, v in flipped)
+            sharing_changed_memo[links_component] = changed
+            return changed
+
+        def keep(key: CacheKey, entry: CachedConversion) -> bool:
+            if not dirty_link_set.isdisjoint(key_semantic_links(key)):
+                return False
+            if not dirty_link_set.isdisjoint(cached_links(entry)):
+                return False
+            rop_aps = key_rop_aps(key)
+            if not dirty_node_set.isdisjoint(rop_aps):
+                return False
+            if flipped and len(rop_aps) > 1 and self.config.insert_rop:
+                if sharing_changed(key):
+                    return False
+            if self.config.insert_fakes and dirty_candidates:
+                return self._fake_insertion_stable(entry.batch,
+                                                   dirty_candidates)
+            return True
+
+        return cache.refine_topology(topology_key, keep)
+
+    def _sharing_verdict_flipped(
+            self, ap_u: Optional[int], ap_v: Optional[int],
+            table: Dict[int, List[Link]],
+            flipped_pairs: Set[FrozenSet[Link]],
+    ) -> bool:
+        """Did ``links_conflict(ap_u, ap_v)`` change across the flips?
+
+        Re-evaluates the ROP sharing test's OR twice — once against
+        the live graph and once with every flipped edge restored to
+        its pre-flip value (an edge in ``flipped_pairs`` toggled, by
+        definition of a flip) — and reports whether the outcomes
+        differ.
+        """
+        if ap_u is None or ap_v is None or ap_u == ap_v:
+            return False
+        or_now = or_before = False
+        for la in table.get(ap_u, ()):
+            for lb in table.get(ap_v, ()):
+                if la.shares_node(lb):
+                    return False  # conflicts regardless of any edge
+                edge_now = self.graph.has_edge(la, lb)
+                if frozenset((la, lb)) in flipped_pairs:
+                    edge_before = not edge_now
+                else:
+                    edge_before = edge_now
+                or_now = or_now or edge_now
+                or_before = or_before or edge_before
+                if or_now and or_before:
+                    return False
+        return or_now != or_before
+
+    def _fake_insertion_stable(self, batch: RelativeBatch,
+                               dirty_candidates: Sequence[Link]) -> bool:
+        """Would fake insertion still skip every dirty candidate?
+
+        The caller has established that no dirty link appears in the
+        template, so each dirty candidate was (implicitly) rejected in
+        every slot.  Replay diverges from a fresh conversion only if
+        one of them would *now* be accepted — checked against the same
+        chosen-prefix the fresh run would test it with: the real
+        entries plus the fakes accepted before it in candidate order.
+        """
+        order = {link: i for i, link in enumerate(self.fake_candidates)}
+        excluded = self.config.fake_exclude_nodes
+        for slot in batch.slots:
+            real = [e.link for e in slot.entries if not e.fake]
+            fakes = [(order.get(e.link, -1), e.link)
+                     for e in slot.entries if e.fake]
+            fakes.sort()
+            for cand in dirty_candidates:
+                prefix = real + [link for pos, link in fakes
+                                 if pos < order[cand]]
+                if self._fake_would_accept(cand, prefix, excluded):
+                    return False
+        return True
+
+    def _fake_would_accept(self, cand: Link, chosen: Sequence[Link],
+                           excluded: frozenset) -> bool:
+        """One candidate's accept test, mirroring :meth:`_insert_fakes`."""
+        if cand in chosen:
+            return False
+        if excluded and (cand.src in excluded or cand.dst in excluded):
+            return False
+        if any(cand.shares_node(link) for link in chosen):
+            return False
+        if any(self.graph.has_edge(cand, link) for link in chosen):
+            return False
+        return self.imap.set_survives([*chosen, cand])
 
     def convert(self, strict: StrictSchedule,
                 rop_aps: Sequence[int] = (),

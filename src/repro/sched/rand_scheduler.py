@@ -52,6 +52,30 @@ class RandScheduler:
         """Current fairness order (read-only copy)."""
         return list(self._queue)
 
+    def add_links(self, links: Sequence[Link]) -> None:
+        """Admit newly associated links at the tail of the queue.
+
+        Joining at the tail means a newcomer waits at most one full
+        rotation before its first slot — the same position a freshly
+        scheduled link lands in — so existing fairness state is
+        undisturbed.  Links must already be vertices of the conflict
+        graph (the caller updates the graph first).
+        """
+        present = set(self._queue)
+        for link in links:
+            if link in present:
+                continue
+            if link not in self.graph:
+                raise ValueError(f"link missing from conflict graph: {link}")
+            self._queue.append(link)
+            present.add(link)
+
+    def remove_links(self, links: Sequence[Link]) -> None:
+        """Drop departed links, preserving the rest of the rotation."""
+        gone = set(links)
+        if gone:
+            self._queue = [l for l in self._queue if l not in gone]
+
     def _build_slot(self, demands: Dict[Link, int]) -> List[Link]:
         """One greedy maximal set of backlogged links, in queue order."""
         slot: List[Link] = []

@@ -1,0 +1,258 @@
+"""The asyncio controller daemon and its deterministic twin.
+
+Two ways to drive the same epoch processor:
+
+* :meth:`ControllerService.run` — the live asyncio loop: events
+  arrive through :meth:`submit`, each epoch drains whatever is queued
+  (bounded by ``debounce_events`` and the virtual-time
+  ``epoch_gap_us`` window), revises, and fans the revision out to
+  subscribers.
+* :meth:`ControllerService.run_events` — the replayable-scenario
+  driver: the same debouncing applied synchronously to a pre-sorted
+  event list, so epoch boundaries — and therefore every revision
+  digest and trace record — are a pure function of the scenario.
+
+Latency discipline: wall-clock timing wraps only the *incremental*
+path (apply + revise).  The equality oracle's from-scratch recompute,
+when enabled, runs outside the timed window — it is harness
+machinery, not service work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .. import telemetry
+from ..telemetry.wallclock import perf_counter
+from .events import ControllerEvent
+from .incremental import IncrementalController
+from .revision import ScheduleRevision, percentiles_ms
+
+
+class OracleMismatch(AssertionError):
+    """An incremental revision diverged from the from-scratch digest."""
+
+
+@dataclass
+class ServiceStats:
+    """End-of-run summary of one service run."""
+
+    revisions: int
+    epochs: int
+    events: int
+    ignored_events: int
+    revision_p50_ms: float
+    revision_p99_ms: float
+    revision_mean_ms: float
+    incremental_hit_rate: float
+    conflict_checks: int
+    oracle_checks: int
+    last_digest: str
+
+    def render(self) -> str:
+        lines = [
+            f"revisions          {self.revisions}",
+            f"epochs             {self.epochs}",
+            f"events             {self.events}"
+            + (f" ({self.ignored_events} ignored)"
+               if self.ignored_events else ""),
+            f"revision p50       {self.revision_p50_ms:.3f} ms",
+            f"revision p99       {self.revision_p99_ms:.3f} ms",
+            f"revision mean      {self.revision_mean_ms:.3f} ms",
+            f"cache hit rate     {self.incremental_hit_rate:.3f}",
+            f"conflict checks    {self.conflict_checks}",
+        ]
+        if self.oracle_checks:
+            lines.append(f"oracle checks      {self.oracle_checks} "
+                         "(all digests equal)")
+        if self.last_digest:
+            lines.append(f"last digest        {self.last_digest[:12]}")
+        return "\n".join(lines)
+
+
+class ControllerService:
+    """Long-running controller: event stream in, revisions out."""
+
+    def __init__(self, engine: IncrementalController,
+                 check_every: int = 0, keep_revisions: int = 1024):
+        self.engine = engine
+        #: Every ``check_every``-th epoch is verified against a
+        #: from-scratch recompute (0 disables; 1 checks every epoch).
+        self.check_every = check_every
+        self._trace = telemetry.current()
+        self._inbox: "asyncio.Queue[Optional[ControllerEvent]]" = \
+            asyncio.Queue()
+        self._subscribers: List["asyncio.Queue[ScheduleRevision]"] = []
+        self._pending: Optional[ControllerEvent] = None
+        self._closing = False
+        self._epoch = 0
+        self._events_seen = 0
+        self._ignored = 0
+        self._oracle_checks = 0
+        self._last_event_id: Optional[int] = None
+        self.latencies_ms: List[float] = []
+        #: Most recent revisions (bounded; the digest history is what
+        #: tests and the CLI want, not every batch ever).
+        self.revisions: List[ScheduleRevision] = []
+        self._keep_revisions = keep_revisions
+
+    # ------------------------------------------------------------------
+    # Epoch processing (shared by both drivers)
+    # ------------------------------------------------------------------
+    def _process_epoch(self,
+                       events: Sequence[ControllerEvent]) -> ScheduleRevision:
+        engine = self.engine
+        t0 = perf_counter()
+        applied = engine.apply_events(events)
+        apply_s = perf_counter() - t0
+
+        expected: Optional[str] = None
+        if self.check_every and self._epoch % self.check_every == 0:
+            expected = engine.preview_digest()
+            self._oracle_checks += 1
+
+        t1 = perf_counter()
+        revision = engine.revise(t_us=events[-1].t_us, epoch=self._epoch,
+                                 applied=applied)
+        latency_ms = (apply_s + (perf_counter() - t1)) * 1_000.0
+
+        if expected is not None and revision.digest != expected:
+            raise OracleMismatch(
+                f"revision {revision.version} (epoch {self._epoch}): "
+                f"incremental digest {revision.digest[:12]} != "
+                f"from-scratch {expected[:12]}")
+
+        revision = ScheduleRevision(
+            version=revision.version, epoch=revision.epoch,
+            t_us=revision.t_us, batch=revision.batch,
+            digest=revision.digest, events=revision.events,
+            dirty_links=revision.dirty_links,
+            cache_hit=revision.cache_hit, latency_ms=latency_ms)
+        self._epoch += 1
+        self._events_seen += applied.events
+        self._ignored += applied.state.ignored_events
+        self.latencies_ms.append(latency_ms)
+        self.revisions.append(revision)
+        if len(self.revisions) > self._keep_revisions:
+            del self.revisions[0]
+
+        tel = self._trace
+        if tel.enabled:
+            self._last_event_id = tel.sched_revision(
+                revision.t_us, version=revision.version,
+                epoch=revision.epoch, events=revision.events,
+                dirty=revision.dirty_links, full=revision.full,
+                digest=revision.trace_digest,
+                batch=revision.batch.batch_id, cause=self._last_event_id)
+            tel.metrics.histogram("service.revision_ms").observe(latency_ms)
+            tel.metrics.counter("service.revisions").inc()
+            tel.metrics.counter("service.events").inc(revision.events)
+            tel.metrics.gauge("service.dirty_links").set(
+                revision.dirty_links)
+        for queue in self._subscribers:
+            queue.put_nowait(revision)
+        return revision
+
+    def _take_epoch(self, events: Sequence[ControllerEvent],
+                    start: int) -> int:
+        """How many events from ``start`` fall into one epoch."""
+        config = self.engine.config
+        first_t = events[start].t_us
+        count = 1
+        while (start + count < len(events)
+               and count < config.debounce_events
+               and events[start + count].t_us - first_t
+               <= config.epoch_gap_us):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Deterministic replay driver
+    # ------------------------------------------------------------------
+    def run_events(self,
+                   events: Iterable[ControllerEvent]) -> ServiceStats:
+        """Replay a scenario: debounce purely on virtual time."""
+        ordered = sorted(events, key=lambda e: e.t_us)
+        index = 0
+        while index < len(ordered):
+            count = self._take_epoch(ordered, index)
+            self._process_epoch(ordered[index:index + count])
+            index += count
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # Live asyncio driver
+    # ------------------------------------------------------------------
+    async def submit(self, event: ControllerEvent) -> None:
+        await self._inbox.put(event)
+
+    async def close(self) -> None:
+        """Ask :meth:`run` to drain the inbox and return."""
+        await self._inbox.put(None)
+
+    def subscribe(self) -> "asyncio.Queue[ScheduleRevision]":
+        """A queue receiving every future revision."""
+        queue: "asyncio.Queue[ScheduleRevision]" = asyncio.Queue()
+        self._subscribers.append(queue)
+        return queue
+
+    async def run(self) -> ServiceStats:
+        """Consume the inbox until :meth:`close`; one epoch per drain.
+
+        Debouncing is the same virtual-time rule as the replay driver,
+        applied to whatever is queued at the moment an epoch starts —
+        batching therefore depends on producer/consumer interleaving
+        (this is the live mode; replays wanting exact reproducibility
+        use :meth:`run_events`).
+        """
+        config = self.engine.config
+        while not (self._closing and self._pending is None
+                   and self._inbox.empty()):
+            first = self._pending
+            self._pending = None
+            if first is None:
+                first = await self._inbox.get()
+                if first is None:
+                    self._closing = True
+                    continue
+            epoch: List[ControllerEvent] = [first]
+            while len(epoch) < config.debounce_events:
+                try:
+                    nxt = self._inbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    self._closing = True
+                    break
+                if nxt.t_us - epoch[0].t_us > config.epoch_gap_us:
+                    self._pending = nxt
+                    break
+                epoch.append(nxt)
+            self._process_epoch(epoch)
+            # Let producers run between epochs.
+            await asyncio.sleep(0)
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        p50, p99 = percentiles_ms(self.latencies_ms)
+        mean = (sum(self.latencies_ms) / len(self.latencies_ms)
+                if self.latencies_ms else 0.0)
+        return ServiceStats(
+            revisions=len(self.latencies_ms),
+            epochs=self._epoch,
+            events=self._events_seen,
+            ignored_events=self._ignored,
+            revision_p50_ms=p50,
+            revision_p99_ms=p99,
+            revision_mean_ms=mean,
+            incremental_hit_rate=self.engine.cache.hit_rate,
+            conflict_checks=self.engine.conflict_checks,
+            oracle_checks=self._oracle_checks,
+            last_digest=(self.revisions[-1].digest
+                         if self.revisions else ""),
+        )

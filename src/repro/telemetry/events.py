@@ -41,10 +41,20 @@ from typing import Dict, List, Optional, Type
 #: per-batch trigger trees that :mod:`~repro.telemetry.analysis.causality`
 #: walks for critical-path latency attribution.
 #:
-#: All v2/v3 additions carry defaults, so older traces still parse;
+#: v4 (online controller): new ``sched_revision`` event — the online
+#: controller service (:mod:`repro.service`) emits one per revision
+#: epoch, carrying the revision version, the epoch's event count, the
+#: dirty-link census, whether the revision came from the incremental
+#: path or a from-scratch recompute, and the canonical batch digest
+#: the incremental-vs-full equality oracle compares.  ``t`` is the
+#: epoch's *virtual* event-stream time — wall-clock latency lives in
+#: the metrics registry, never the trace, so replayed scenarios stay
+#: byte-identical.
+#:
+#: All v2/v3/v4 additions carry defaults, so older traces still parse;
 #: files declaring a *newer* version are refused up front (see
 #: :mod:`~repro.telemetry.jsonl`).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -267,12 +277,36 @@ class BatchStart(TraceEvent):
     KIND = "batch_start"
 
 
+@dataclass(frozen=True)
+class ScheduleRevision(TraceEvent):
+    """The online controller emitted a revised schedule (v4).
+
+    One record per revision epoch of :mod:`repro.service`.  ``t`` is
+    the virtual timestamp of the epoch's last folded event, so
+    replayed scenarios trace identically run to run; revision latency
+    is wall-clock and lives in the metrics registry instead.
+    """
+
+    version: int                   # monotonically increasing revision
+    epoch: int                     # debounce epoch the revision closed
+    events: int                    # controller events folded in
+    dirty: int                     # dirty links when the epoch closed
+    full: bool                     # from-scratch recompute (vs. incremental)
+    digest: str                    # canonical batch digest (prefix)
+    batch: int                     # batch_id of the emitted RelativeBatch
+    id: Optional[int] = None       # emission index (v3)
+    #: The previous revision's event, ``None`` for the first.
+    cause: Optional[int] = None
+
+    KIND = "sched_revision"
+
+
 #: kind string -> event dataclass.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.KIND: cls
     for cls in (FrameTx, FrameRx, FrameDrop, SignatureDetect, TriggerFire,
                 BackupTrigger, SlotExec, RopPoll, RopDecode,
-                ScheduleDispatch, BatchStart)
+                ScheduleDispatch, BatchStart, ScheduleRevision)
 }
 
 

@@ -146,6 +146,11 @@ class NullRecorder:
                     cause: Optional[int] = None) -> None:
         return None
 
+    def sched_revision(self, t: float, version: int, epoch: int,
+                       events: int, dirty: int, full: bool, digest: str,
+                       batch: int, cause: Optional[int] = None) -> None:
+        return None
+
 
 #: The one shared disabled recorder (what ``telemetry.current()``
 #: returns outside an activated session).
@@ -366,6 +371,15 @@ class TraceRecorder(NullRecorder):
                     cause: Optional[int] = None) -> int:
         eid = self.emitted
         self._append(("batch_start", t, batch, node, eid, cause))
+        self.emitted = eid + 1
+        return eid
+
+    def sched_revision(self, t: float, version: int, epoch: int,
+                       events: int, dirty: int, full: bool, digest: str,
+                       batch: int, cause: Optional[int] = None) -> int:
+        eid = self.emitted
+        self._append(("sched_revision", t, version, epoch, events, dirty,
+                      full, digest, batch, eid, cause))
         self.emitted = eid + 1
         return eid
 

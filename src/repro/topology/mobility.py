@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 from .propagation import LogDistanceModel, Position, WallCounter
 from .trace import SyntheticTrace
@@ -48,6 +48,38 @@ def move_node(trace: SyntheticTrace, node_id: int, new_pos: Position,
         asym = rng.gauss(0.0, prop.asymmetry_sigma_db)
         trace.rss_dbm[node_id][other] = base + asym / 2.0
         trace.rss_dbm[other][node_id] = base - asym / 2.0
+
+
+def linear_drift(trace: SyntheticTrace, node_id: int, to_pos: Position,
+                 steps: int,
+                 model: Optional[LogDistanceModel] = None,
+                 tx_power_dbm: float = 15.0,
+                 wall_counter: Optional[WallCounter] = None,
+                 seed: int = 0) -> Iterator[Tuple[int, Position]]:
+    """Walk ``node_id`` toward ``to_pos`` in ``steps`` equal hops.
+
+    A generator: each iteration applies one :func:`move_node` hop in
+    place and yields ``(step, position)`` *after* the matrix refresh,
+    so a consumer can snapshot the node's RSS row/column between hops
+    — the online controller turns exactly these snapshots into
+    ``RssDelta`` events, making mobility a first-class event source
+    without the topology layer knowing about the service.  Each hop
+    re-rolls shadowing/asymmetry with a per-step seed, so the drift is
+    a fresh fading realization per position, deterministically.
+    """
+    if steps <= 0:
+        raise ValueError("drift needs at least one step")
+    if not trace.positions:
+        raise ValueError("trace has no positions; cannot move nodes")
+    x0, y0 = trace.positions[node_id]
+    dx = (to_pos[0] - x0) / steps
+    dy = (to_pos[1] - y0) / steps
+    for step in range(1, steps + 1):
+        pos = (x0 + dx * step, y0 + dy * step)
+        move_node(trace, node_id, pos, model=model,
+                  tx_power_dbm=tx_power_dbm, wall_counter=wall_counter,
+                  seed=seed ^ step)
+        yield step, pos
 
 
 def place_near(trace: SyntheticTrace, node_id: int, target_id: int,

@@ -179,3 +179,86 @@ class TestCloneBatch:
             slot + delta for slot in batch.rop_polls}
         assert shifted.untriggerable == [
             (slot + delta, link) for slot, link in batch.untriggerable]
+
+
+class TestLinkInvalidation:
+    """ISSUE 6 satellite: per-link eviction must be surgical.
+
+    Invalidating link *i* evicts exactly the entries that involve it —
+    entries over disjoint chains keep their hits.  ``insert_fakes`` /
+    ``insert_rop`` are off so each entry's footprint is exactly its
+    strict chain (fakes would pull the whole universe into every
+    template and make "disjoint" impossible on one topology).
+    """
+
+    @staticmethod
+    def _bare_converter(cache):
+        topology = fig7_topology()
+        imap = topology.interference_map()
+        universe = list(topology.flows)
+        for link in topology.all_association_links():
+            if link not in universe:
+                universe.append(link)
+        graph = build_conflict_graph(imap, universe)
+        config = ConverterConfig(insert_fakes=False, insert_rop=False)
+        return ScheduleConverter(imap, graph, fake_candidates=universe,
+                                 config=config, cache=cache)
+
+    @staticmethod
+    def _chain_a():
+        strict = StrictSchedule()
+        strict.append([Link(0, 1)])
+        strict.append([Link(2, 3)])
+        return strict
+
+    @staticmethod
+    def _chain_b():
+        strict = StrictSchedule()
+        strict.append([Link(4, 5)])
+        strict.append([Link(6, 7)])
+        return strict
+
+    def test_invalidating_link_spares_disjoint_chains(self):
+        cache = ConversionCache("topo")
+        converter = self._bare_converter(cache)
+        converter.convert(self._chain_a())
+        converter.reset_connector()
+        converter.convert(self._chain_b())
+        converter.reset_connector()
+        assert len(cache) == 2
+
+        evicted = cache.invalidate_link(Link(0, 1))
+        assert evicted == 1
+        assert len(cache) == 1
+
+        # The disjoint chain still replays from cache...
+        converter.convert(self._chain_b())
+        converter.reset_connector()
+        assert cache.hits == 1
+        # ...while the invalidated one reconverts.
+        converter.convert(self._chain_a())
+        converter.reset_connector()
+        assert cache.misses == 3
+
+    def test_invalidation_covers_template_fakes(self):
+        """A link absent from the key but accepted into the template
+        as a fake must still evict the entry — a replay would re-emit
+        it."""
+        cache = ConversionCache("topo")
+        converter = make_converter(fig7_topology(), cache=cache)
+        batch = converter.convert(strict_a())
+        fake_links = {e.link for slot in batch.slots
+                      for e in slot.entries if e.fake}
+        key_only = {Link(l.src, l.dst) for slot in strict_a()
+                    for l in slot}
+        pure_fakes = fake_links - key_only
+        assert pure_fakes, "fig7 strict_a leaves room for fakes"
+        assert cache.invalidate_link(next(iter(sorted(pure_fakes)))) == 1
+        assert len(cache) == 0
+
+    def test_invalidate_unknown_link_is_noop(self):
+        cache = ConversionCache("topo")
+        converter = self._bare_converter(cache)
+        converter.convert(self._chain_a())
+        assert cache.invalidate_link(Link(6, 7)) == 0
+        assert len(cache) == 1

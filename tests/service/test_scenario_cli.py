@@ -1,0 +1,100 @@
+"""Scenario loading and the ``python -m repro.service`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import build_scenario, load_scenario
+from repro.service.__main__ import main
+
+_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+EXAMPLE = os.path.join(_ROOT, "examples", "service_churn.json")
+
+
+def small_scenario_dict():
+    return {
+        "name": "tiny",
+        "topology": {"kind": "fig7"},
+        "config": {"batch_slots": 6, "epoch_gap_us": 1000.0},
+        "sources": [
+            {"kind": "churn", "updates": 60, "seed": 4},
+            {"kind": "events", "events": [
+                {"kind": "queue_update", "t_us": 10.0,
+                 "src": 0, "dst": 1, "backlog": 4},
+            ]},
+        ],
+    }
+
+
+class TestScenarioBuilding:
+    def test_build_merges_and_sorts_sources(self):
+        scenario = build_scenario(small_scenario_dict())
+        assert scenario.name == "tiny"
+        assert scenario.config.batch_slots == 6
+        assert len(scenario.events) == 61
+        times = [e.t_us for e in scenario.events]
+        assert times == sorted(times)
+
+    def test_build_is_deterministic(self):
+        a = build_scenario(small_scenario_dict())
+        b = build_scenario(small_scenario_dict())
+        assert a.events == b.events
+
+    def test_unknown_topology_kind(self):
+        with pytest.raises(ValueError):
+            build_scenario({"topology": {"kind": "moebius"}})
+
+    def test_unknown_source_kind(self):
+        with pytest.raises(ValueError):
+            build_scenario({"topology": {"kind": "fig7"},
+                            "sources": [{"kind": "quantum"}]})
+
+    def test_example_scenario_loads(self):
+        scenario = load_scenario(EXAMPLE)
+        assert scenario.name == "forty-node-churn"
+        assert scenario.make_state().n_nodes == 40
+        assert len(scenario.events) > 2_000
+
+
+class TestCli:
+    def run_cli(self, tmp_path, extra):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario_dict()))
+        return main(["--scenario", str(path)] + extra)
+
+    def test_json_summary(self, tmp_path, capsys):
+        code = self.run_cli(tmp_path, ["--check-every", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "tiny"
+        assert payload["events"] == 61
+        assert payload["revisions"] >= 1
+        assert payload["oracle_checks"] >= 1
+        assert len(payload["last_digest"]) == 64
+
+    def test_text_summary(self, tmp_path, capsys):
+        assert self.run_cli(tmp_path, []) == 0
+        out = capsys.readouterr().out
+        assert "revision p99" in out
+        assert "tiny" in out
+
+    def test_trace_output(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = self.run_cli(tmp_path, ["--trace", str(trace_path),
+                                       "--quiet"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in trace_path.read_text().splitlines() if line]
+        revisions = [r for r in lines if r.get("ev") == "sched_revision"]
+        assert revisions
+        assert all(len(r["digest"]) == 12 for r in revisions)
+
+    def test_missing_scenario_exits_2(self, capsys):
+        assert main(["--scenario", "/nonexistent/nope.json"]) == 2
+
+    def test_invalid_scenario_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"topology": {"kind": "moebius"}}))
+        assert main(["--scenario", str(path)]) == 2

@@ -1,0 +1,86 @@
+"""The live asyncio driver: submit/close/subscribe semantics."""
+
+import asyncio
+
+from repro.service import (ChurnConfig, ControllerService,
+                           IncrementalController, NetworkState,
+                           QueueUpdate, ServiceConfig, churn_events)
+from repro.topology.builder import fig7_topology
+
+
+def make_service(check_every=0, **config_kwargs):
+    topology = fig7_topology()
+    engine = IncrementalController(NetworkState.from_topology(topology),
+                                   ServiceConfig(**config_kwargs))
+    return ControllerService(engine, check_every=check_every)
+
+
+class TestAsyncDriver:
+    def test_producer_consumer_with_subscriber(self):
+        async def scenario():
+            service = make_service(check_every=4)
+            subscriber = service.subscribe()
+            events = churn_events(
+                NetworkState.from_topology(fig7_topology()),
+                ChurnConfig(updates=150, seed=5))
+
+            async def producer():
+                for i, event in enumerate(events):
+                    await service.submit(event)
+                    if i % 7 == 0:
+                        await asyncio.sleep(0)  # interleave with epochs
+                await service.close()
+
+            stats, _ = await asyncio.gather(service.run(), producer())
+            received = []
+            while not subscriber.empty():
+                received.append(subscriber.get_nowait())
+            return stats, received
+
+        stats, received = asyncio.run(scenario())
+        assert stats.events == 150
+        assert stats.revisions > 1
+        assert len(received) == stats.revisions
+        versions = [r.version for r in received]
+        assert versions == list(range(1, len(versions) + 1))
+        assert stats.oracle_checks > 0
+
+    def test_close_drains_pending_events(self):
+        async def scenario():
+            service = make_service()
+            for i in range(5):
+                await service.submit(QueueUpdate(
+                    t_us=float(i), src=0, dst=1, backlog=float(i)))
+            await service.close()
+            return await service.run()
+
+        stats = asyncio.run(scenario())
+        assert stats.events == 5
+        assert stats.revisions >= 1
+
+    def test_debounce_bounds_epoch_size(self):
+        async def scenario():
+            service = make_service(debounce_events=4)
+            for i in range(10):
+                await service.submit(QueueUpdate(
+                    t_us=float(i), src=0, dst=1, backlog=1.0))
+            await service.close()
+            return await service.run()
+
+        stats = asyncio.run(scenario())
+        assert stats.events == 10
+        # 10 queued events with a 4-event debounce cap: >= 3 epochs.
+        assert stats.revisions >= 3
+
+    def test_gap_window_splits_epochs(self):
+        async def scenario():
+            service = make_service(epoch_gap_us=100.0)
+            for t in (0.0, 50.0, 5_000.0, 5_050.0):
+                await service.submit(QueueUpdate(
+                    t_us=t, src=0, dst=1, backlog=2.0))
+            await service.close()
+            return await service.run()
+
+        stats = asyncio.run(scenario())
+        assert stats.events == 4
+        assert stats.revisions == 2
