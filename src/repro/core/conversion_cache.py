@@ -205,6 +205,13 @@ class ConversionCache:
         self._entries: "OrderedDict[CacheKey, CachedConversion]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Revalidation rejections attributed to the soundness rule
+        #: that fired (``rule1`` dirty semantic link, ``rule2`` dirty
+        #: polled ROP AP, ``rule3`` fake-insertion instability,
+        #: ``rule4`` flipped ROP-sharing edge) — the "why is the hit
+        #: rate what it is" answer the bare hit/miss counts lack.
+        self.reject_counts: Dict[str, int] = {
+            "rule1": 0, "rule2": 0, "rule3": 0, "rule4": 0}
         self._trace = telemetry.current()
 
     def __len__(self) -> int:
@@ -214,6 +221,13 @@ class ConversionCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def count_reject(self, rule: str) -> None:
+        """Attribute one revalidation rejection to a soundness rule."""
+        self.reject_counts[rule] = self.reject_counts.get(rule, 0) + 1
+        if self._trace.enabled:
+            self._trace.metrics.counter(
+                "converter.cache.reject." + rule).inc()
 
     def set_topology(self, topology_key: str) -> None:
         """Invalidate by rekeying: entries under the old control-plane

@@ -222,6 +222,7 @@ class ScheduleConverter:
         cache = self.cache
         if cache is None:
             return (0, 0)
+        count_reject = cache.count_reject
         dirty_link_set = frozenset(dirty_links)
         dirty_node_set = frozenset(dirty_nodes)
         dirty_candidates = [cand for cand in self.fake_candidates
@@ -251,18 +252,24 @@ class ScheduleConverter:
 
         def keep(key: CacheKey, entry: CachedConversion) -> bool:
             if not dirty_link_set.isdisjoint(key_semantic_links(key)):
+                count_reject("rule1")
                 return False
             if not dirty_link_set.isdisjoint(cached_links(entry)):
+                count_reject("rule1")
                 return False
             rop_aps = key_rop_aps(key)
             if not dirty_node_set.isdisjoint(rop_aps):
+                count_reject("rule2")
                 return False
             if flipped and len(rop_aps) > 1 and self.config.insert_rop:
                 if sharing_changed(key):
+                    count_reject("rule4")
                     return False
             if self.config.insert_fakes and dirty_candidates:
-                return self._fake_insertion_stable(entry.batch,
-                                                   dirty_candidates)
+                if not self._fake_insertion_stable(entry.batch,
+                                                   dirty_candidates):
+                    count_reject("rule3")
+                    return False
             return True
 
         return cache.refine_topology(topology_key, keep)

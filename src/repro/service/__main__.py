@@ -3,7 +3,9 @@
 Usage::
 
     python -m repro.service --scenario examples/service_churn.json \
-        [--check-every N] [--trace out.jsonl] [--json] [--quiet]
+        [--check-every N] [--trace out.jsonl] [--json] [--quiet] \
+        [--ops-port PORT] [--phase-timing] [--slo-p99-ms MS] \
+        [--flight-dump-dir DIR]
 
 Replays the scenario deterministically (virtual-time debouncing) and
 prints the run summary.  ``--check-every N`` verifies every N-th epoch
@@ -12,6 +14,15 @@ mismatch, which is a correctness bug, never load.  ``--trace`` writes
 the ``sched_revision`` stream (plus metrics) as telemetry JSONL for
 ``python -m repro.telemetry summarize``.
 
+The live ops plane (:mod:`repro.telemetry.ops`) rides along on
+demand: ``--ops-port`` serves ``/metrics`` (Prometheus text),
+``/healthz`` and ``/statusz`` while the replay runs, ``--phase-timing``
+times each revision phase, ``--slo-p99-ms`` arms the rolling-p99 SLO
+tracker (breaches print doctor-style findings to stderr as they
+happen) and ``--flight-dump-dir`` arms the flight recorder, which
+dumps the trace-ring tail to a JSONL file on oracle mismatch or SLO
+breach.
+
 Exit codes: 0 success, 2 unreadable/invalid scenario, 3 oracle
 mismatch.
 """
@@ -19,21 +30,66 @@ mismatch.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .. import telemetry
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.ops import (FlightRecorder, OpsServer, SloConfig,
+                             SloTracker)
+from .events import ControllerEvent
 from .incremental import IncrementalController
 from .scenario import load_scenario
-from .service import ControllerService, OracleMismatch
+from .service import ControllerService, OracleMismatch, ServiceStats
+
+_EXIT_CODES = """\
+exit codes:
+  0  clean run (a one-line summary with the final revision version
+     and oracle-check count goes to stderr)
+  2  unreadable or invalid scenario file
+  3  equality-oracle mismatch: an incremental revision's digest
+     diverged from the from-scratch recompute (a correctness bug,
+     never load; the flight recorder, if armed, has dumped the
+     trace tail)
+"""
+
+
+async def _run_with_ops(service: ControllerService,
+                        events: Sequence[ControllerEvent],
+                        metrics: MetricsRegistry,
+                        port: int, linger_s: float) -> ServiceStats:
+    """Replay with the ops endpoint serving concurrently.
+
+    The deterministic replay runs in a worker thread so the event
+    loop stays free to answer scrapes; epoch boundaries are still a
+    pure function of the scenario.  ``linger_s`` keeps the endpoint
+    up after the replay drains (smoke tests scrape a finished run).
+    """
+    server = OpsServer(metrics, status_fn=service.status,
+                       healthy_fn=service.healthy, port=port)
+    bound = await server.start()
+    print(f"ops endpoint on http://127.0.0.1:{bound} "
+          "(/metrics /healthz /statusz)", file=sys.stderr, flush=True)
+    loop = asyncio.get_running_loop()
+    try:
+        stats = await loop.run_in_executor(
+            None, service.run_events, list(events))
+        if linger_s > 0:
+            await asyncio.sleep(linger_s)
+        return stats
+    finally:
+        await server.stop()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
         description="Replay a controller scenario through the online "
-                    "incremental scheduler.")
+                    "incremental scheduler.",
+        epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--scenario", required=True,
                         help="scenario JSON file (see repro.service."
                              "scenario for the schema)")
@@ -47,7 +103,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
     parser.add_argument("--quiet", action="store_true",
-                        help="suppress the summary (exit code only)")
+                        help="suppress the stdout summary (the one-line "
+                             "exit status still goes to stderr)")
+    ops = parser.add_argument_group("live ops")
+    ops.add_argument("--ops-port", type=int, default=None, metavar="PORT",
+                     help="serve /metrics, /healthz and /statusz on "
+                          "127.0.0.1:PORT while the replay runs "
+                          "(0 picks a free port; the bound address is "
+                          "printed to stderr)")
+    ops.add_argument("--ops-linger", type=float, default=0.0,
+                     metavar="SEC",
+                     help="keep the ops endpoint up SEC seconds after "
+                          "the replay finishes (for scrapers)")
+    ops.add_argument("--phase-timing", action="store_true",
+                     help="time each revision phase (adds "
+                          "revision_phases trace events and "
+                          "service.phase.* histograms)")
+    ops.add_argument("--slo-p99-ms", type=float, default=None,
+                     metavar="MS",
+                     help="rolling-window p99 revision-latency target; "
+                          "breaches print findings to stderr live")
+    ops.add_argument("--flight-dump-dir", metavar="DIR", default=None,
+                     help="arm the flight recorder: dump the trace-ring "
+                          "tail to DIR on oracle mismatch or SLO breach")
     args = parser.parse_args(argv)
 
     try:
@@ -61,20 +139,47 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    recorder = telemetry.activate() if args.trace else None
+    if args.phase_timing:
+        scenario.config.phase_timing = True
+
+    # The ops plane rides on the telemetry session: the exporter reads
+    # the active metrics registry and the flight recorder freezes the
+    # active trace ring, so any ops flag turns telemetry on even when
+    # no --trace file was asked for.
+    want_telemetry = bool(args.trace or args.ops_port is not None
+                          or args.flight_dump_dir)
+    recorder = telemetry.activate() if want_telemetry else None
+
+    slo: Optional[SloTracker] = None
+    if args.slo_p99_ms is not None:
+        slo = SloTracker(SloConfig(p99_target_ms=args.slo_p99_ms))
+        slo.subscribe(lambda alert: print(alert.render(), file=sys.stderr))
+    flight: Optional[FlightRecorder] = None
+    if args.flight_dump_dir and recorder is not None:
+        flight = FlightRecorder(recorder, args.flight_dump_dir)
+
     try:
         engine = IncrementalController(scenario.make_state(),
                                        scenario.config)
-        service = ControllerService(engine, check_every=args.check_every)
+        service = ControllerService(engine, check_every=args.check_every,
+                                    slo=slo, flight=flight)
         try:
-            stats = service.run_events(scenario.events)
+            if args.ops_port is not None and recorder is not None:
+                stats = asyncio.run(_run_with_ops(
+                    service, scenario.events, recorder.metrics,
+                    args.ops_port, args.ops_linger))
+            else:
+                stats = service.run_events(scenario.events)
         except OracleMismatch as exc:
             print(f"ORACLE MISMATCH: {exc}", file=sys.stderr)
+            if flight is not None and flight.dumps:
+                print(f"flight recorder dump: {flight.dumps[-1]}",
+                      file=sys.stderr)
             return 3
     finally:
         if recorder is not None:
             telemetry.deactivate()
-    if recorder is not None:
+    if recorder is not None and args.trace:
         recorder.export_jsonl(args.trace)
 
     if not args.quiet:
@@ -97,6 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(f"scenario           {scenario.name}")
             print(stats.render())
+    print(f"clean exit: revision version {engine.version}, "
+          f"{stats.oracle_checks} oracle check(s)", file=sys.stderr)
     return 0
 
 

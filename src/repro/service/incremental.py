@@ -34,6 +34,7 @@ from ..core.converter import ConverterConfig, ScheduleConverter
 from ..core.relative_schedule import RelativeBatch, TriggerDuty
 from ..sched.interference_map import InterferenceMap
 from ..sched.rand_scheduler import RandScheduler
+from ..telemetry.wallclock import perf_counter
 from ..topology.conflict_graph import (ConflictDelta, build_conflict_graph,
                                        update_conflict_graph)
 from ..topology.links import Link
@@ -56,6 +57,12 @@ class ServiceConfig:
     #: Virtual-time window: an epoch also closes when the next event
     #: is further than this from the epoch's first event.
     epoch_gap_us: float = 2_000.0
+    #: Time each revision phase (membership reconciliation, conflict
+    #: re-test, cache revalidation, conversion, digest) and attach the
+    #: wall-clock breakdown to every :class:`ScheduleRevision`.  Off by
+    #: default: with it on, a recorded trace gains ``revision_phases``
+    #: events whose durations vary run to run (schema v5 note).
+    phase_timing: bool = False
 
 
 @dataclass
@@ -70,6 +77,9 @@ class AppliedDelta:
     cache_evicted: int = 0
     connector_purged: int = 0
     trigger_purged: int = 0
+    #: Wall-clock phase durations in microseconds (phase timing only):
+    #: ``membership_us`` / ``conflict_us`` / ``cache_us``.
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def n_dirty_links(self) -> int:
@@ -107,13 +117,19 @@ class IncrementalController:
     # ------------------------------------------------------------------
     def apply_events(self, events: Iterable[ControllerEvent]) -> AppliedDelta:
         """Fold events into the state, then patch every structure."""
+        timing = self.config.phase_timing
         applied = AppliedDelta()
+        if timing:
+            applied.phases = {"membership_us": 0.0, "conflict_us": 0.0,
+                              "cache_us": 0.0}
         for event in events:
             applied.state.merge(self.state.apply(event))
             applied.events += 1
         delta = applied.state
         if not delta.topology_dirty:
             return applied
+
+        t0 = perf_counter() if timing else 0.0
 
         # 1. Trigger-verdict cache: purge everything touching a moved
         #    or (dis)appeared node.
@@ -135,6 +151,8 @@ class IncrementalController:
             self.graph.add_nodes_from(added)
             self.scheduler.add_links(added)
 
+        t1 = perf_counter() if timing else 0.0
+
         # 3. Conflict edges incident to the dirty region only.
         dirty_links = [link for link in self.state.links
                        if link.src in delta.dirty_nodes
@@ -143,6 +161,8 @@ class IncrementalController:
         applied.conflict = update_conflict_graph(
             self.graph, self.imap, self.state.links, dirty_links)
         self.conflict_checks += applied.conflict.checked
+
+        t2 = perf_counter() if timing else 0.0
 
         # 4. Fake candidates follow the universe order.
         self.converter.fake_candidates = list(self.state.links)
@@ -153,12 +173,20 @@ class IncrementalController:
             self.converter.revalidate_cache(
                 self._topology_key(), stale, delta.dirty_nodes,
                 changed_pairs=applied.conflict.pairs))
+
+        if timing and applied.phases is not None:
+            t3 = perf_counter()
+            applied.phases["membership_us"] = (t1 - t0) * 1e6
+            applied.phases["conflict_us"] = (t2 - t1) * 1e6
+            applied.phases["cache_us"] = (t3 - t2) * 1e6
         return applied
 
     def revise(self, t_us: float, epoch: int,
                applied: AppliedDelta) -> ScheduleRevision:
         """Produce the next schedule revision from current state."""
+        timing = self.config.phase_timing
         hits_before = self.cache.hits
+        t0 = perf_counter() if timing else 0.0
         batch = self._convert_once(self.scheduler, self.converter)
         # Optimistic decrement of what this batch will serve (the
         # batch controller does the same between queue reports).
@@ -168,11 +196,22 @@ class IncrementalController:
                 if backlog is not None:
                     self.state.queues[entry.link] = max(0.0, backlog - 1.0)
         self.version += 1
+        t1 = perf_counter() if timing else 0.0
+        digest = batch_digest(batch)
+        phases: Optional[Dict[str, float]] = None
+        if timing:
+            t2 = perf_counter()
+            phases = dict(applied.phases) if applied.phases else {
+                "membership_us": 0.0, "conflict_us": 0.0, "cache_us": 0.0}
+            phases["convert_us"] = (t1 - t0) * 1e6
+            phases["digest_us"] = (t2 - t1) * 1e6
+            phases["total_us"] = sum(phases.values())
         return ScheduleRevision(
             version=self.version, epoch=epoch, t_us=t_us, batch=batch,
-            digest=batch_digest(batch), events=applied.events,
+            digest=digest, events=applied.events,
             dirty_links=applied.n_dirty_links,
-            cache_hit=self.cache.hits > hits_before)
+            cache_hit=self.cache.hits > hits_before,
+            phases=phases)
 
     # ------------------------------------------------------------------
     # Reference path (the equality oracle's from-scratch recompute)

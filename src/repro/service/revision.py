@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.relative_schedule import RelativeBatch
 from ..telemetry.metrics import percentile
@@ -77,6 +77,10 @@ class ScheduleRevision:
     cache_hit: bool         # conversion replayed from cache
     full: bool = False      # produced by a from-scratch recompute
     latency_ms: float = 0.0  # wall-clock apply+revise time (not traced)
+    #: Wall-clock phase breakdown in µs (``membership_us`` /
+    #: ``conflict_us`` / ``cache_us`` / ``convert_us`` / ``digest_us``
+    #: / ``total_us``), populated only under ``phase_timing``.
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def trace_digest(self) -> str:

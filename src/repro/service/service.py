@@ -21,10 +21,12 @@ machinery, not service work.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .. import telemetry
+from ..telemetry.ops import FlightRecorder, SloTracker
 from ..telemetry.wallclock import perf_counter
 from .events import ControllerEvent
 from .incremental import IncrementalController
@@ -76,21 +78,32 @@ class ControllerService:
     """Long-running controller: event stream in, revisions out."""
 
     def __init__(self, engine: IncrementalController,
-                 check_every: int = 0, keep_revisions: int = 1024):
+                 check_every: int = 0, keep_revisions: int = 1024,
+                 slo: Optional[SloTracker] = None,
+                 flight: Optional[FlightRecorder] = None):
         self.engine = engine
         #: Every ``check_every``-th epoch is verified against a
         #: from-scratch recompute (0 disables; 1 checks every epoch).
         self.check_every = check_every
+        #: Live SLO judge (optional): fed every revision latency and
+        #: every oracle verdict; a ``slo_p99`` breach also triggers the
+        #: flight recorder, when armed.
+        self.slo = slo
+        #: Flight recorder (optional): dumps the trace-ring tail on
+        #: oracle mismatch or SLO breach.
+        self.flight = flight
         self._trace = telemetry.current()
         self._inbox: "asyncio.Queue[Optional[ControllerEvent]]" = \
             asyncio.Queue()
         self._subscribers: List["asyncio.Queue[ScheduleRevision]"] = []
+        self._callbacks: List[Callable[[ScheduleRevision], None]] = []
         self._pending: Optional[ControllerEvent] = None
         self._closing = False
         self._epoch = 0
         self._events_seen = 0
         self._ignored = 0
         self._oracle_checks = 0
+        self._oracle_failed = False
         self._last_event_id: Optional[int] = None
         self.latencies_ms: List[float] = []
         #: Most recent revisions (bounded; the digest history is what
@@ -118,18 +131,7 @@ class ControllerService:
                                  applied=applied)
         latency_ms = (apply_s + (perf_counter() - t1)) * 1_000.0
 
-        if expected is not None and revision.digest != expected:
-            raise OracleMismatch(
-                f"revision {revision.version} (epoch {self._epoch}): "
-                f"incremental digest {revision.digest[:12]} != "
-                f"from-scratch {expected[:12]}")
-
-        revision = ScheduleRevision(
-            version=revision.version, epoch=revision.epoch,
-            t_us=revision.t_us, batch=revision.batch,
-            digest=revision.digest, events=revision.events,
-            dirty_links=revision.dirty_links,
-            cache_hit=revision.cache_hit, latency_ms=latency_ms)
+        revision = dataclasses.replace(revision, latency_ms=latency_ms)
         self._epoch += 1
         self._events_seen += applied.events
         self._ignored += applied.state.ignored_events
@@ -138,6 +140,9 @@ class ControllerService:
         if len(self.revisions) > self._keep_revisions:
             del self.revisions[0]
 
+        # The trace records are written *before* the oracle verdict so
+        # a flight-recorder dump triggered by a mismatch ends with the
+        # mismatched epoch's own sched_revision event.
         tel = self._trace
         if tel.enabled:
             self._last_event_id = tel.sched_revision(
@@ -151,8 +156,51 @@ class ControllerService:
             tel.metrics.counter("service.events").inc(revision.events)
             tel.metrics.gauge("service.dirty_links").set(
                 revision.dirty_links)
+            if revision.phases is not None:
+                phases = revision.phases
+                tel.revision_phases(
+                    revision.t_us, version=revision.version,
+                    epoch=revision.epoch,
+                    membership_us=phases["membership_us"],
+                    conflict_us=phases["conflict_us"],
+                    cache_us=phases["cache_us"],
+                    convert_us=phases["convert_us"],
+                    digest_us=phases["digest_us"],
+                    total_us=phases["total_us"],
+                    cause=self._last_event_id)
+                for phase, micros in phases.items():
+                    name = "service.phase." + phase[:-3] + "_ms"
+                    tel.metrics.histogram(name).observe(micros / 1_000.0)
         for queue in self._subscribers:
             queue.put_nowait(revision)
+        for callback in self._callbacks:
+            callback(revision)
+
+        if self.slo is not None:
+            alert = self.slo.observe_latency(latency_ms,
+                                             epoch=revision.epoch)
+            if alert is not None and self.flight is not None:
+                self.flight.dump("slo_breach", {
+                    "rule": alert.rule, "epoch": revision.epoch,
+                    "value": alert.value, "threshold": alert.threshold})
+
+        if expected is not None:
+            ok = revision.digest == expected
+            if self.slo is not None:
+                self.slo.record_oracle(ok, epoch=revision.epoch)
+            if not ok:
+                self._oracle_failed = True
+                if self.flight is not None:
+                    self.flight.dump("oracle_mismatch", {
+                        "epoch": revision.epoch,
+                        "version": revision.version,
+                        "expected_digest": expected[:12],
+                        "actual_digest": revision.trace_digest})
+                raise OracleMismatch(
+                    f"revision {revision.version} "
+                    f"(epoch {revision.epoch}): "
+                    f"incremental digest {revision.digest[:12]} != "
+                    f"from-scratch {expected[:12]}")
         return revision
 
     def _take_epoch(self, events: Sequence[ControllerEvent],
@@ -197,6 +245,51 @@ class ControllerService:
         queue: "asyncio.Queue[ScheduleRevision]" = asyncio.Queue()
         self._subscribers.append(queue)
         return queue
+
+    def on_revision(self,
+                    callback: Callable[[ScheduleRevision], None]) -> None:
+        """``callback`` runs synchronously after every revision.
+
+        Unlike :meth:`subscribe` this needs no event loop, so the
+        deterministic replay driver can host periodic side work (e.g.
+        rendering the metrics exporter) between epochs.
+        """
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Live introspection (the ops endpoint's providers)
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        """``/healthz`` verdict: no oracle mismatch so far."""
+        return not self._oracle_failed
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-ready run state for ``/statusz``."""
+        engine = self.engine
+        status: Dict[str, Any] = {
+            "epoch": self._epoch,
+            "revision_version": engine.version,
+            "queue_depth": self._inbox.qsize(),
+            "events": self._events_seen,
+            "ignored_events": self._ignored,
+            "revisions": len(self.latencies_ms),
+            "oracle_checks": self._oracle_checks,
+            "oracle_failed": self._oracle_failed,
+            "conflict_checks": engine.conflict_checks,
+            "cache": {
+                "hits": engine.cache.hits,
+                "misses": engine.cache.misses,
+                "hit_rate": round(engine.cache.hit_rate, 4),
+                "rejects": dict(engine.cache.reject_counts),
+            },
+            "last_digest": (self.revisions[-1].trace_digest
+                            if self.revisions else ""),
+        }
+        if self.slo is not None:
+            status["slo"] = self.slo.status()
+        if self.flight is not None:
+            status["flight_dumps"] = list(self.flight.dumps)
+        return status
 
     async def run(self) -> ServiceStats:
         """Consume the inbox until :meth:`close`; one epoch per drain.

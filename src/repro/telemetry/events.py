@@ -51,10 +51,23 @@ from typing import Dict, List, Optional, Type
 #: the metrics registry, never the trace, so replayed scenarios stay
 #: byte-identical.
 #:
+#: v5 (live ops plane): new ``revision_phases`` event — emitted right
+#: after ``sched_revision`` when the online controller runs with phase
+#: timing enabled (``ServiceConfig.phase_timing`` / ``--phase-timing``),
+#: breaking one revision's latency into the five controller phases
+#: (membership reconciliation, conflict re-test, cache revalidation,
+#: conversion incl. connector splice, digest).  The per-phase fields
+#: are **wall-clock microseconds** — the one deliberate exception to
+#: the no-wall-clock rule, which is why the event exists only behind
+#: an explicit opt-in: traces recorded with phase timing on are for
+#: live operations and latency attribution, not for byte-identical
+#: replay comparison (``t`` and every other event stay virtual, so
+#: filtering ``revision_phases`` out restores comparability).
+#:
 #: All v2/v3/v4 additions carry defaults, so older traces still parse;
 #: files declaring a *newer* version are refused up front (see
 #: :mod:`~repro.telemetry.jsonl`).
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -301,12 +314,39 @@ class ScheduleRevision(TraceEvent):
     KIND = "sched_revision"
 
 
+@dataclass(frozen=True)
+class RevisionPhases(TraceEvent):
+    """Per-phase latency breakdown of one controller revision (v5).
+
+    Emitted only when phase timing is explicitly enabled.  ``t`` is
+    the same virtual epoch time as the matching ``sched_revision``
+    (its ``id`` is this event's ``cause``); the ``*_us`` fields are
+    wall-clock microseconds and therefore vary run to run — see the
+    v5 schema note for why that trade is opt-in.
+    """
+
+    version: int                   # revision the breakdown belongs to
+    epoch: int                     # debounce epoch the revision closed
+    membership_us: float           # trigger purge + link splice in/out
+    conflict_us: float             # dirty-region conflict edge re-test
+    cache_us: float                # conversion-cache revalidation
+    convert_us: float              # schedule + connector splice + convert
+    digest_us: float               # canonical batch digest
+    total_us: float                # apply+revise wall time, end to end
+    id: Optional[int] = None       # emission index (v3)
+    #: The ``sched_revision`` event this breakdown annotates.
+    cause: Optional[int] = None
+
+    KIND = "revision_phases"
+
+
 #: kind string -> event dataclass.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.KIND: cls
     for cls in (FrameTx, FrameRx, FrameDrop, SignatureDetect, TriggerFire,
                 BackupTrigger, SlotExec, RopPoll, RopDecode,
-                ScheduleDispatch, BatchStart, ScheduleRevision)
+                ScheduleDispatch, BatchStart, ScheduleRevision,
+                RevisionPhases)
 }
 
 

@@ -151,6 +151,13 @@ class NullRecorder:
                        batch: int, cause: Optional[int] = None) -> None:
         return None
 
+    def revision_phases(self, t: float, version: int, epoch: int,
+                        membership_us: float, conflict_us: float,
+                        cache_us: float, convert_us: float,
+                        digest_us: float, total_us: float,
+                        cause: Optional[int] = None) -> None:
+        return None
+
 
 #: The one shared disabled recorder (what ``telemetry.current()``
 #: returns outside an activated session).
@@ -207,6 +214,10 @@ def _materialize(raw: Raw) -> dict:
         record["targets"] = sorted(record["targets"])
         record["polls"] = sorted(record["polls"])
         record["rop"] = bool(record["rop"])
+    elif kind == "revision_phases":
+        for field in ("membership_us", "conflict_us", "cache_us",
+                      "convert_us", "digest_us", "total_us"):
+            record[field] = round(record[field], 1)
     return record
 
 
@@ -380,6 +391,20 @@ class TraceRecorder(NullRecorder):
         eid = self.emitted
         self._append(("sched_revision", t, version, epoch, events, dirty,
                       full, digest, batch, eid, cause))
+        self.emitted = eid + 1
+        return eid
+
+    def revision_phases(self, t: float, version: int, epoch: int,
+                        membership_us: float, conflict_us: float,
+                        cache_us: float, convert_us: float,
+                        digest_us: float, total_us: float,
+                        cause: Optional[int] = None) -> int:
+        # Wall-clock phase durations, rounded at materialize time; only
+        # emitted behind the explicit phase-timing opt-in (v5 note).
+        eid = self.emitted
+        self._append(("revision_phases", t, version, epoch, membership_us,
+                      conflict_us, cache_us, convert_us, digest_us,
+                      total_us, eid, cause))
         self.emitted = eid + 1
         return eid
 

@@ -262,3 +262,41 @@ class TestLinkInvalidation:
         converter.convert(self._chain_a())
         assert cache.invalidate_link(Link(6, 7)) == 0
         assert len(cache) == 1
+
+
+class TestRejectAttribution:
+    """Revalidation rejections name the soundness rule that fired."""
+
+    def test_counts_start_zeroed(self):
+        cache = ConversionCache("topo")
+        assert cache.reject_counts == {
+            "rule1": 0, "rule2": 0, "rule3": 0, "rule4": 0}
+
+    def test_count_reject_accumulates(self):
+        cache = ConversionCache("topo")
+        cache.count_reject("rule1")
+        cache.count_reject("rule1")
+        cache.count_reject("rule4")
+        assert cache.reject_counts["rule1"] == 2
+        assert cache.reject_counts["rule4"] == 1
+        assert cache.reject_counts["rule2"] == 0
+
+    def test_dirty_semantic_link_attributes_rule1(self):
+        cache = ConversionCache("topo")
+        converter = make_converter(fig7_topology(), cache=cache)
+        converter.convert(strict_a())
+        dirty = next(Link(l.src, l.dst) for slot in strict_a()
+                     for l in slot)
+        kept, evicted = converter.revalidate_cache(
+            "topo2", [dirty], [dirty.src])
+        assert evicted == 1 and kept == 0
+        assert cache.reject_counts["rule1"] == 1
+        assert cache.reject_counts["rule3"] == 0
+
+    def test_clean_migration_rejects_nothing(self):
+        cache = ConversionCache("topo")
+        converter = make_converter(fig7_topology(), cache=cache)
+        converter.convert(strict_a())
+        kept, evicted = converter.revalidate_cache("topo2", [], [])
+        assert kept == 1 and evicted == 0
+        assert sum(cache.reject_counts.values()) == 0

@@ -1,0 +1,96 @@
+"""Flight-recorder triggers: oracle fault injection and SLO breach."""
+
+import pytest
+
+from repro import telemetry
+from repro.service import (ChurnConfig, ControllerService,
+                           IncrementalController, NetworkState,
+                           ServiceConfig, churn_events)
+from repro.service.service import OracleMismatch
+from repro.telemetry import jsonl
+from repro.telemetry.ops import (FlightRecorder, SloConfig, SloTracker)
+from repro.topology.builder import fig7_topology
+
+
+def make_run(tmp_path, check_every=0, slo=None, updates=150, seed=3):
+    topology = fig7_topology()
+    events = churn_events(NetworkState.from_topology(topology),
+                          ChurnConfig(updates=updates, seed=seed))
+    recorder = telemetry.activate()
+    engine = IncrementalController(NetworkState.from_topology(topology),
+                                   ServiceConfig())
+    flight = FlightRecorder(recorder, str(tmp_path))
+    service = ControllerService(engine, check_every=check_every,
+                                slo=slo, flight=flight)
+    return service, engine, flight, events
+
+
+class TestOracleMismatchDump:
+    def test_fault_injection_dumps_the_mismatched_epoch(self, tmp_path):
+        slo = SloTracker(SloConfig(p99_target_ms=1e9))
+        service, engine, flight, events = make_run(
+            tmp_path, check_every=1, slo=slo)
+        try:
+            # Kill the equality: the from-scratch preview digest can
+            # never match a real revision digest.
+            engine.preview_digest = lambda: "0" * 64
+            with pytest.raises(OracleMismatch) as err:
+                service.run_events(events)
+        finally:
+            telemetry.deactivate()
+
+        # The first checked epoch (epoch 0) mismatched and dumped.
+        assert len(flight.dumps) == 1
+        records = jsonl.load_jsonl(flight.dumps[0])
+        meta = records[0]
+        assert meta[FlightRecorder.META_KEY] == 1
+        assert meta["reason"] == "oracle_mismatch"
+        assert meta["epoch"] == 0
+        assert meta["expected_digest"] == "0" * 12
+
+        # Acceptance criterion: the dump's last sched_revision event
+        # is the mismatched epoch's own.
+        revisions = [r for r in records[1:]
+                     if r["ev"] == "sched_revision"]
+        assert revisions
+        assert revisions[-1]["epoch"] == meta["epoch"]
+        assert revisions[-1]["digest"] == meta["actual_digest"]
+        assert f"epoch {meta['epoch']}" in str(err.value)
+
+        # The SLO tracker saw the failed verdict; health flipped.
+        assert slo.oracle_failures == 1
+        assert slo.alerts and slo.alerts[0].rule == "oracle_budget"
+        assert service.healthy() is False
+
+    def test_clean_run_dumps_nothing(self, tmp_path):
+        service, _engine, flight, events = make_run(tmp_path,
+                                                    check_every=4)
+        try:
+            service.run_events(events)
+        finally:
+            telemetry.deactivate()
+        assert flight.dumps == []
+        assert service.healthy() is True
+
+
+class TestSloBreachDump:
+    def test_latency_breach_dumps_once(self, tmp_path):
+        # An absurd target (0 ms) that any real epoch exceeds, judged
+        # from the very first sample.
+        slo = SloTracker(SloConfig(p99_target_ms=0.0, min_samples=1))
+        service, _engine, flight, events = make_run(tmp_path, slo=slo)
+        try:
+            service.run_events(events)
+        finally:
+            telemetry.deactivate()
+        assert slo.breached
+        assert len(flight.dumps) == 1           # edge-triggered
+        records = jsonl.load_jsonl(flight.dumps[0])
+        meta = records[0]
+        assert meta["reason"] == "slo_breach"
+        assert meta["rule"] == "slo_p99"
+        assert meta["threshold"] == 0.0
+        # The breaching epoch's revision is in the tail.
+        assert any(r["ev"] == "sched_revision"
+                   and r["epoch"] == meta["epoch"]
+                   for r in records[1:])

@@ -1,0 +1,164 @@
+"""The ops HTTP endpoint, scraped in-process over a real socket."""
+
+import asyncio
+import json
+
+from repro import telemetry
+from repro.service import (ChurnConfig, ControllerService,
+                           IncrementalController, NetworkState,
+                           ServiceConfig, churn_events)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.ops import METRICS_CONTENT_TYPE, OpsServer
+from repro.topology.builder import fig7_topology
+
+
+async def scrape(port, request_line):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write((request_line + "\r\nHost: x\r\n\r\n").encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.decode("utf-8").partition("\r\n\r\n")
+    status_line, _, header_block = head.partition("\r\n")
+    headers = dict(
+        line.split(": ", 1) for line in header_block.splitlines())
+    return int(status_line.split()[1]), headers, body
+
+
+async def get(port, path):
+    return await scrape(port, f"GET {path} HTTP/1.1")
+
+
+class TestRoutes:
+    def run(self, coro_fn, **server_kwargs):
+        async def harness():
+            server = OpsServer(**server_kwargs)
+            port = await server.start()
+            try:
+                return await coro_fn(port, server)
+            finally:
+                await server.stop()
+        return asyncio.run(harness())
+
+    def test_metrics_route(self):
+        registry = MetricsRegistry()
+        registry.counter("service.revisions").inc(5)
+
+        async def check(port, _server):
+            return await get(port, "/metrics")
+
+        status, headers, body = self.run(check, metrics=registry)
+        assert status == 200
+        assert headers["Content-Type"] == METRICS_CONTENT_TYPE
+        assert "service_revisions_total 5" in body
+        assert body.endswith("\n")
+
+    def test_healthz_flips_with_provider(self):
+        health = {"ok": True}
+
+        async def check(port, _server):
+            first = await get(port, "/healthz")
+            health["ok"] = False
+            second = await get(port, "/healthz")
+            return first, second
+
+        (s1, _h1, b1), (s2, _h2, b2) = self.run(
+            check, metrics=MetricsRegistry(),
+            healthy_fn=lambda: health["ok"])
+        assert (s1, b1) == (200, "ok\n")
+        assert (s2, b2) == (503, "unhealthy\n")
+
+    def test_statusz_merges_uptime(self):
+        async def check(port, _server):
+            return await get(port, "/statusz")
+
+        status, headers, body = self.run(
+            check, metrics=MetricsRegistry(),
+            status_fn=lambda: {"epoch": 3})
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["epoch"] == 3
+        assert payload["uptime_s"] >= 0.0
+
+    def test_unknown_path_404(self):
+        async def check(port, _server):
+            return await get(port, "/nope")
+
+        status, _headers, body = self.run(check, metrics=MetricsRegistry())
+        assert status == 404
+        assert "/metrics" in body       # tells the caller the routes
+
+    def test_post_is_405(self):
+        async def check(port, _server):
+            return await scrape(port, "POST /metrics HTTP/1.1")
+
+        status, _headers, _body = self.run(check, metrics=MetricsRegistry())
+        assert status == 405
+
+    def test_bad_request_line_400(self):
+        async def check(port, _server):
+            return await scrape(port, "GARBAGE")
+
+        status, _headers, _body = self.run(check, metrics=MetricsRegistry())
+        assert status == 400
+
+    def test_query_string_ignored(self):
+        async def check(port, _server):
+            return await get(port, "/healthz?probe=1")
+
+        status, _headers, body = self.run(check, metrics=MetricsRegistry())
+        assert (status, body) == (200, "ok\n")
+
+    def test_request_counter(self):
+        async def check(port, server):
+            await get(port, "/healthz")
+            await get(port, "/metrics")
+            return server.requests
+
+        assert self.run(check, metrics=MetricsRegistry()) == 2
+
+
+class TestServiceIntegration:
+    def test_live_scrape_of_a_churn_replay(self):
+        """A replayed churn run exposes live revision + phase stats."""
+        topology = fig7_topology()
+        events = churn_events(NetworkState.from_topology(topology),
+                              ChurnConfig(updates=300, seed=9))
+        recorder = telemetry.activate()
+        try:
+            engine = IncrementalController(
+                NetworkState.from_topology(topology),
+                ServiceConfig(phase_timing=True))
+            service = ControllerService(engine, check_every=8)
+
+            async def harness():
+                server = OpsServer(recorder.metrics,
+                                   status_fn=service.status,
+                                   healthy_fn=service.healthy)
+                port = await server.start()
+                try:
+                    loop = asyncio.get_running_loop()
+                    stats = await loop.run_in_executor(
+                        None, service.run_events, events)
+                    metrics = await get(port, "/metrics")
+                    statusz = await get(port, "/statusz")
+                    health = await get(port, "/healthz")
+                    return stats, metrics, statusz, health
+                finally:
+                    await server.stop()
+
+            stats, metrics, statusz, health = asyncio.run(harness())
+        finally:
+            telemetry.deactivate()
+
+        assert health[0] == 200
+        body = metrics[2]
+        assert "service_revision_ms_count" in body
+        assert 'service_phase_convert_ms{quantile="0.99"}' in body
+        payload = json.loads(statusz[2])
+        assert payload["revision_version"] == stats.revisions
+        assert payload["oracle_checks"] == stats.oracle_checks
+        assert set(payload["cache"]["rejects"]) == \
+            {"rule1", "rule2", "rule3", "rule4"}

@@ -1,0 +1,88 @@
+"""Phase-timed revisions: breakdown present, schedules unchanged."""
+
+import pytest
+
+from repro import telemetry
+from repro.service import (ChurnConfig, ControllerService,
+                           IncrementalController, NetworkState,
+                           ServiceConfig, churn_events)
+from repro.topology.builder import fig7_topology
+
+PHASE_FIELDS = ("membership_us", "conflict_us", "cache_us",
+                "convert_us", "digest_us", "total_us")
+
+
+def run_churn(phase_timing, updates=200, seed=7):
+    topology = fig7_topology()
+    events = churn_events(NetworkState.from_topology(topology),
+                          ChurnConfig(updates=updates, seed=seed))
+    engine = IncrementalController(
+        NetworkState.from_topology(topology),
+        ServiceConfig(phase_timing=phase_timing))
+    service = ControllerService(engine)
+    service.run_events(events)
+    return service
+
+
+class TestPhaseBreakdown:
+    def test_off_by_default_leaves_phases_none(self):
+        service = run_churn(phase_timing=False)
+        assert all(r.phases is None for r in service.revisions)
+
+    def test_every_revision_carries_the_breakdown(self):
+        service = run_churn(phase_timing=True)
+        assert service.revisions
+        for revision in service.revisions:
+            phases = revision.phases
+            assert phases is not None
+            assert set(phases) == set(PHASE_FIELDS)
+            assert all(v >= 0.0 for v in phases.values())
+            parts = sum(v for k, v in phases.items() if k != "total_us")
+            assert phases["total_us"] == pytest.approx(parts)
+
+    def test_identical_schedules_with_timing_on_and_off(self):
+        """Timing must be pure observation: digests match exactly."""
+        off = run_churn(phase_timing=False)
+        on = run_churn(phase_timing=True)
+        assert [r.digest for r in off.revisions] == \
+            [r.digest for r in on.revisions]
+
+
+class TestPhaseTelemetry:
+    def run_traced(self, phase_timing):
+        recorder = telemetry.activate()
+        try:
+            service = run_churn(phase_timing=phase_timing)
+        finally:
+            telemetry.deactivate()
+        return service, recorder
+
+    def test_trace_gains_one_phases_event_per_revision(self):
+        service, recorder = self.run_traced(phase_timing=True)
+        records = recorder.records()
+        revisions = [r for r in records if r["ev"] == "sched_revision"]
+        phases = [r for r in records if r["ev"] == "revision_phases"]
+        assert len(phases) == len(revisions) == len(service.revisions)
+        by_id = {r["id"]: r for r in revisions}
+        for record in phases:
+            parent = by_id[record["cause"]]       # spans its revision
+            assert record["version"] == parent["version"]
+            assert record["epoch"] == parent["epoch"]
+            for phase_field in PHASE_FIELDS:
+                value = record[phase_field]
+                # Canonical JSONL rounding: one decimal of a µs.
+                assert value == round(value, 1)
+
+    def test_phase_histograms_register(self):
+        _service, recorder = self.run_traced(phase_timing=True)
+        names = set(recorder.metrics.snapshot())
+        for phase in ("membership", "conflict", "cache", "convert",
+                      "digest", "total"):
+            assert f"service.phase.{phase}_ms" in names
+
+    def test_no_phase_records_when_disabled(self):
+        _service, recorder = self.run_traced(phase_timing=False)
+        assert not any(r["ev"] == "revision_phases"
+                       for r in recorder.records())
+        assert not any(name.startswith("service.phase.")
+                       for name in recorder.metrics.snapshot())

@@ -91,6 +91,47 @@ class TestCli:
         assert revisions
         assert all(len(r["digest"]) == 12 for r in revisions)
 
+    def test_clean_exit_summary_line_on_stderr(self, tmp_path, capsys):
+        assert self.run_cli(tmp_path, ["--check-every", "2",
+                                       "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""       # --quiet keeps stdout silent
+        assert "clean exit: revision version" in captured.err
+        assert "oracle check" in captured.err
+
+    def test_clean_exit_line_does_not_pollute_json(self, tmp_path, capsys):
+        assert self.run_cli(tmp_path, ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "tiny"
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "oracle" in out and "scenario" in out
+
+    def test_phase_timing_flag_traces_phases(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = self.run_cli(tmp_path, ["--trace", str(trace_path),
+                                       "--phase-timing", "--quiet"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in trace_path.read_text().splitlines() if line]
+        revisions = [r for r in lines if r.get("ev") == "sched_revision"]
+        phases = [r for r in lines if r.get("ev") == "revision_phases"]
+        assert len(phases) == len(revisions) > 0
+
+    def test_flight_dir_without_mismatch_stays_empty(self, tmp_path,
+                                                     capsys):
+        dump_dir = tmp_path / "flight"
+        code = self.run_cli(tmp_path, ["--check-every", "4", "--quiet",
+                                       "--flight-dump-dir",
+                                       str(dump_dir)])
+        assert code == 0
+        assert not dump_dir.exists() or not list(dump_dir.iterdir())
+
     def test_missing_scenario_exits_2(self, capsys):
         assert main(["--scenario", "/nonexistent/nope.json"]) == 2
 

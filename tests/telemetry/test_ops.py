@@ -1,0 +1,185 @@
+"""The live ops plane: exporter, SLO tracker, flight recorder."""
+
+import json
+
+import pytest
+
+from repro.telemetry import jsonl
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.ops import (FlightRecorder, SloAlert, SloConfig,
+                                 SloTracker, prometheus_name,
+                                 render_prometheus)
+from repro.telemetry.recorder import TraceRecorder
+
+
+class TestPrometheusRendering:
+    def test_name_sanitization(self):
+        assert prometheus_name("service.revision_ms") == \
+            "service_revision_ms"
+        assert prometheus_name("converter.cache.reject.rule1") == \
+            "converter_cache_reject_rule1"
+        assert prometheus_name("9lives") == "_9lives"
+        assert prometheus_name("a b:c") == "a_b:c"
+
+    def test_empty_registry_is_valid_text(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_counter_renders_with_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("service.revisions").inc(3)
+        text = render_prometheus(registry)
+        assert "# TYPE service_revisions_total counter\n" in text
+        assert "service_revisions_total 3\n" in text
+
+    def test_gauge_renders_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("service.dirty_links").set(7)
+        text = render_prometheus(registry)
+        assert "# TYPE service_dirty_links gauge" in text
+        assert "service_dirty_links 7" in text.splitlines()
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("service.revision_ms")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        text = render_prometheus(registry)
+        assert "# TYPE service_revision_ms summary" in text
+        assert 'service_revision_ms{quantile="0.5"} 50' in text
+        assert 'service_revision_ms{quantile="0.99"} 99' in text
+        assert "service_revision_ms_count 100" in text
+        assert "service_revision_ms_sum 5050" in text
+
+    def test_output_shape(self):
+        """Sorted by name, one trailing newline, no blank lines."""
+        registry = MetricsRegistry()
+        registry.counter("b.second").inc()
+        registry.counter("a.first").inc()
+        text = render_prometheus(registry)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        lines = text.splitlines()
+        assert "" not in lines
+        assert lines.index("a_first_total 1") < \
+            lines.index("b_second_total 1")
+
+
+class TestSloTracker:
+    def make(self, **kwargs):
+        defaults = dict(p99_target_ms=10.0, window=64, min_samples=8)
+        defaults.update(kwargs)
+        return SloTracker(SloConfig(**defaults))
+
+    def test_quiet_below_target(self):
+        slo = self.make()
+        for _ in range(50):
+            assert slo.observe_latency(1.0) is None
+        assert not slo.breached
+        assert slo.status()["breached"] is False
+
+    def test_no_judgement_before_min_samples(self):
+        slo = self.make(min_samples=8)
+        for _ in range(7):
+            assert slo.observe_latency(1_000.0) is None
+        assert not slo.breached
+
+    def test_breach_alerts_once_edge_triggered(self):
+        slo = self.make()
+        alerts = []
+        slo.subscribe(alerts.append)
+        for _ in range(20):
+            slo.observe_latency(100.0, epoch=4)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.rule == "slo_p99"
+        assert alert.epoch == 4
+        assert alert.value > alert.threshold == 10.0
+        assert "[warn] slo_p99:" in alert.render()
+        assert "(epoch 4)" in alert.render()
+
+    def test_rearms_after_recovery(self):
+        slo = self.make(window=16, min_samples=8)
+        for _ in range(16):
+            slo.observe_latency(100.0)
+        assert len(slo.alerts) == 1
+        for _ in range(16):                 # window fully recovers
+            slo.observe_latency(0.5)
+        for _ in range(16):                 # second breach
+            slo.observe_latency(100.0)
+        assert len(slo.alerts) == 2
+
+    def test_oracle_budget(self):
+        slo = self.make(oracle_budget=1)
+        assert slo.record_oracle(True) is None
+        assert slo.record_oracle(False) is None      # within budget
+        alert = slo.record_oracle(False, epoch=9)
+        assert alert is not None
+        assert alert.rule == "oracle_budget"
+        assert alert.severity == "critical"
+        assert slo.status()["oracle_failures"] == 2
+        assert slo.status()["oracle_checks"] == 3
+
+    def test_status_is_json_ready(self):
+        slo = self.make()
+        for _ in range(10):
+            slo.observe_latency(100.0)
+        payload = json.loads(json.dumps(slo.status()))
+        assert payload["samples"] == 10
+        assert payload["alerts"] and isinstance(payload["alerts"][0], str)
+
+
+class TestFlightRecorder:
+    def fill(self, recorder, n):
+        for i in range(n):
+            recorder.sched_revision(float(i), version=i + 1, epoch=i,
+                                    events=1, dirty=0, full=False,
+                                    digest="d" * 12, batch=i + 1)
+
+    def test_dump_is_loadable_trace(self, tmp_path):
+        rec = TraceRecorder()
+        self.fill(rec, 5)
+        flight = FlightRecorder(rec, str(tmp_path))
+        path = flight.dump("oracle_mismatch", {"epoch": 4})
+        records = jsonl.load_jsonl(path)
+        meta = records[0]
+        assert meta[FlightRecorder.META_KEY] == 1
+        assert meta["reason"] == "oracle_mismatch"
+        assert meta["epoch"] == 4
+        assert meta["events"] == 5
+        assert [r["epoch"] for r in records[1:]] == list(range(5))
+
+    def test_dump_keeps_only_the_tail(self, tmp_path):
+        rec = TraceRecorder()
+        self.fill(rec, 20)
+        flight = FlightRecorder(rec, str(tmp_path), keep_last=4)
+        path = flight.dump("slo_breach")
+        records = jsonl.load_jsonl(path)
+        assert len(records) == 1 + 4
+        assert [r["epoch"] for r in records[1:]] == [16, 17, 18, 19]
+
+    def test_sequential_dumps_never_overwrite(self, tmp_path):
+        rec = TraceRecorder()
+        self.fill(rec, 2)
+        flight = FlightRecorder(rec, str(tmp_path))
+        a = flight.dump("slo_breach")
+        b = flight.dump("slo_breach")
+        assert a != b
+        assert flight.dumps == [a, b]
+
+    def test_reason_is_sanitized_into_filename(self, tmp_path):
+        rec = TraceRecorder()
+        self.fill(rec, 1)
+        flight = FlightRecorder(rec, str(tmp_path))
+        path = flight.dump("weird reason/../x")
+        assert "/.." not in path.replace(str(tmp_path), "")
+        records = jsonl.load_jsonl(path)
+        assert records[0]["reason"] == "weird reason/../x"
+
+    def test_rejects_nonpositive_tail(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(TraceRecorder(), str(tmp_path), keep_last=0)
+
+
+def test_alert_render_without_epoch():
+    alert = SloAlert(rule="slo_p99", severity="warn", message="m",
+                     value=1.0, threshold=0.5)
+    assert alert.render() == "[warn] slo_p99: m"

@@ -197,7 +197,7 @@ class TestJsonl:
         TraceRecorder().export_jsonl(path)
         with open(path) as handle:
             first = handle.readline().strip()
-        assert first == '{"__domino_trace__":4,"schema_version":4}'
+        assert first == '{"__domino_trace__":5,"schema_version":5}'
 
     def test_unsupported_schema_version_rejected(self):
         stream = io.StringIO('{"__domino_trace__":99}\n{"ev":"x","t":0}\n')

@@ -70,6 +70,48 @@ class TestOldVersionsLoadReadOnly:
         assert loaded[1]["cause"] == root and loaded[1]["via"] == "initial"
 
 
+class TestServiceTraceVersions:
+    """v5 added ``revision_phases``; older service traces stay loadable."""
+
+    def test_v5_fixture_round_trips_phases(self):
+        records = jsonl.load_jsonl(fixture("service_v5.jsonl"))
+        events = [from_record(r) for r in records]
+        phases = [e for e in events if e.KIND == "revision_phases"]
+        assert len(phases) == 1
+        assert phases[0].total_us == 610.5
+        assert phases[0].cause == 0     # spans the revision that timed it
+        revisions = [e for e in events if e.KIND == "sched_revision"]
+        assert [r.version for r in revisions] == [1, 2]
+
+    @pytest.mark.parametrize("name", ["service_v3.jsonl",
+                                      "service_v4.jsonl"])
+    def test_pre_v5_fixtures_load_with_phase_data_absent(self, name):
+        records = jsonl.load_jsonl(fixture(name))
+        events = [from_record(r) for r in records]
+        assert [e.KIND for e in events] == ["sched_revision"] * 2
+        assert not any(e.KIND == "revision_phases" for e in events)
+        # The v4-era fields are all present and intact.
+        assert events[0].digest == "abcdef012345"
+        assert events[1].cause == 0
+
+    def test_pre_v5_service_trace_diagnoses(self):
+        records = jsonl.load_jsonl(fixture("service_v4.jsonl"))
+        report = diagnose(records)
+        assert report.events == 2
+
+    def test_recorder_emits_current_version_header(self):
+        rec = TraceRecorder()
+        rec.revision_phases(0.0, version=1, epoch=0, membership_us=1.0,
+                            conflict_us=2.0, cache_us=3.0, convert_us=4.0,
+                            digest_us=5.0, total_us=15.0)
+        stream = io.StringIO()
+        jsonl.write_jsonl(stream, rec.records())
+        stream.seek(0)
+        first = stream.readline()
+        assert f'"schema_version":{SCHEMA_VERSION}' in first
+        assert SCHEMA_VERSION == 5
+
+
 class TestFutureVersionsRefused:
     def test_future_explicit_version_refused(self):
         stream = io.StringIO(
