@@ -7,9 +7,10 @@ pool, then asserts the engine's two promises:
 * **identity** — per-point canonical-trace digests are byte-identical
   between the two runs, always, on any machine;
 * **speedup** — with >= 4 workers on a >= 4-core box the parallel run
-  finishes >= 2.5x faster (asserted only there: a 1- or 2-core CI
-  runner cannot physically show it, but still checks identity and
-  records its numbers).
+  finishes >= 2.5x faster.  A smaller box cannot physically show a
+  speedup, so there the ratio is neither asserted nor published — the
+  snapshot records ``"skipped_reason": "cores<4"`` and the trend entry
+  carries the serial throughput — but identity is still checked.
 
 The worker count follows ``SWEEP_BENCH_WORKERS`` (default: 4 capped
 to the core count) so CI can pin a reproducible pool size.  Numbers
@@ -55,7 +56,13 @@ def test_sweep_speedup_and_identity():
     parallel = run_sweep(points, workers=workers, trace=True)
 
     digests_identical = serial.digests() == parallel.digests()
-    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    # A sub-SPEEDUP_WORKERS box cannot show a speedup, only pool
+    # overhead: publishing its sub-1x ratio as "the speedup" would
+    # poison the snapshot and the trend history, so the ratio is
+    # withheld and the snapshot says why instead.
+    measurable = workers >= SPEEDUP_WORKERS and cores >= SPEEDUP_WORKERS
+    speedup = (serial.wall_s / parallel.wall_s
+               if measurable and parallel.wall_s else None)
 
     report = {
         "workload": f"fig14 random T({M},{N}) x {N_RUNS} placements, "
@@ -65,26 +72,32 @@ def test_sweep_speedup_and_identity():
         "cores": cores,
         "serial_s": round(serial.wall_s, 4),
         "parallel_s": round(parallel.wall_s, 4),
-        "speedup": round(speedup, 4),
+        "speedup": round(speedup, 4) if speedup is not None else None,
+        "skipped_reason": None if measurable
+        else f"cores<{SPEEDUP_WORKERS}",
         "total_events": serial.total_events,
         "serial_events_per_sec": round(serial.events_per_sec, 1),
         "parallel_events_per_sec": round(parallel.events_per_sec, 1),
         "digests_identical": digests_identical,
-        "speedup_floor": MIN_SPEEDUP if (workers >= SPEEDUP_WORKERS
-                                         and cores >= SPEEDUP_WORKERS)
-        else None,
+        "speedup_floor": MIN_SPEEDUP if measurable else None,
     }
     with open(RESULT_PATH, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    trend.append("sweep_speedup", {
+    metrics = {
         "serial_s": round(serial.wall_s, 4),
         "parallel_s": round(parallel.wall_s, 4),
-        "speedup": round(speedup, 4),
-        "sweep_events_per_sec": round(parallel.events_per_sec, 1),
+        # Throughput stays honest either way: on a measurable box the
+        # pool's rate is the bench's product; below that the serial
+        # rate is the only meaningful one.
+        "sweep_events_per_sec": round(
+            (parallel if measurable else serial).events_per_sec, 1),
         "total_events": serial.total_events,
-    })
+    }
+    if speedup is not None:
+        metrics["speedup"] = round(speedup, 4)
+    trend.append("sweep_speedup", metrics)
 
     # Untimed third pass with worker-side diagnosis for the HTML
     # artifact CI uploads — kept out of the timed runs above so the
@@ -103,5 +116,5 @@ def test_sweep_speedup_and_identity():
     # Observability must not perturb the simulation: same digests with
     # diagnosis on.
     assert diagnosed.digests() == serial.digests()
-    if workers >= SPEEDUP_WORKERS and cores >= SPEEDUP_WORKERS:
+    if measurable:
         assert speedup >= MIN_SPEEDUP, report

@@ -17,6 +17,10 @@ patterns that break it *at commit time*:
   ``src/`` must name a kind registered in
   :mod:`repro.telemetry.events` with a matching shape, and changing an
   event's shape without bumping ``SCHEMA_VERSION`` is an error.
+* **Dependency rules (DOM4xx)** — third-party imports in the sim
+  packages must appear in ``[project] dependencies`` (or hide behind
+  ``TYPE_CHECKING`` / a ``try/except ImportError`` gate), so a clean
+  install can always import the simulation core.
 
 Run it as ``python -m repro.lint [paths]`` (paths default to ``src``).
 Findings go to stderr as ``path:line:col: RULE message``; exit code 0

@@ -8,6 +8,7 @@ conversation a layering violation should force.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -43,6 +44,10 @@ class Config:
     schema_events / schema_recorder / schema_baseline:
         The telemetry schema's source of truth, the typed-helper
         signatures, and the committed shape fingerprint for DOM303.
+    declared_deps:
+        Canonicalized distribution names from ``[project]
+        dependencies`` in the same ``pyproject.toml`` — the dependency
+        floor DOM401 holds sim packages to.
     """
 
     root: Path
@@ -52,6 +57,17 @@ class Config:
     schema_events: Path
     schema_recorder: Path
     schema_baseline: Path
+    declared_deps: Tuple[str, ...] = ()
+
+    def dep_declared(self, top_module: str) -> bool:
+        """Is the top-level import name covered by a declared dep?
+
+        Distribution names are matched case-insensitively with ``-``
+        and ``.`` folded to ``_`` (the import-name convention); close
+        enough for the scientific stack this repo draws on, where
+        distribution and import names coincide.
+        """
+        return _canonical_dep(top_module) in self.declared_deps
 
     def module_name(self, path: Path) -> Optional[str]:
         """Dotted module for ``path``, or ``None`` if outside src_root."""
@@ -83,6 +99,21 @@ class Config:
             module == pkg or module.startswith(pkg + ".")
             for pkg in self.sim_packages
         )
+
+
+def _canonical_dep(name: str) -> str:
+    """Fold a distribution/import name to a comparable key."""
+    return name.lower().replace("-", "_").replace(".", "_")
+
+
+def _requirement_name(spec: str) -> Optional[str]:
+    """Distribution name of one PEP 508 requirement string.
+
+    ``"numpy>=1.24"`` -> ``"numpy"``; extras, version specifiers and
+    environment markers are irrelevant to the import check.
+    """
+    match = re.match(r"\s*([A-Za-z0-9][A-Za-z0-9._-]*)", spec)
+    return match.group(1) if match else None
 
 
 def find_pyproject(start: Path) -> Path:
@@ -140,6 +171,17 @@ def load_config(start: Optional[Path] = None) -> Config:
             )
         layers[str(package)] = tuple(allowed)
 
+    requirements = data.get("project", {}).get("dependencies", [])
+    if not isinstance(requirements, list) or not all(
+        isinstance(item, str) for item in requirements
+    ):
+        raise ConfigError("[project] dependencies must be a string list")
+    declared = []
+    for spec in requirements:
+        name = _requirement_name(spec)
+        if name is not None:
+            declared.append(_canonical_dep(name))
+
     return Config(
         root=root,
         src_root=_path("src-root", "src"),
@@ -151,4 +193,5 @@ def load_config(start: Optional[Path] = None) -> Config:
             "schema-recorder", "src/repro/telemetry/recorder.py"),
         schema_baseline=_path(
             "schema-baseline", "src/repro/lint/schema_baseline.json"),
+        declared_deps=tuple(declared),
     )

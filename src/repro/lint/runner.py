@@ -9,6 +9,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, TextIO
 
 from .config import Config, ConfigError, load_config
+from .deps import check_dependencies
 from .determinism import check_determinism
 from .findings import Finding, Suppressions
 from .layering import check_layering
@@ -57,6 +58,7 @@ def lint_file(path: Path, config: Config,
     if module is not None:
         if config.in_sim_packages(module):
             findings.extend(check_determinism(tree, rel))
+            findings.extend(check_dependencies(tree, rel, module, config))
         findings.extend(check_layering(
             tree, rel, module, is_package=path.name == "__init__.py",
             config=config))

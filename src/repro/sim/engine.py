@@ -75,6 +75,11 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Heap-based discrete-event simulator with a microsecond clock.
 
+    This is the *reference* implementation of the engine contract
+    (:class:`~repro.sim.protocol.EngineProtocol`): alternative
+    backends (:class:`~repro.sim.matrix.MatrixSimulator`) must match
+    its observable behaviour byte-for-byte at the trace level.
+
     Parameters
     ----------
     seed:
@@ -96,7 +101,11 @@ class Simulator:
     def __init__(self, seed: int = 0, profile: bool = False):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: List[Event] = []
+        # Heap entries are (time, seq, event) triples, not bare events:
+        # tuple comparison runs in C, and with unique integer seqs the
+        # event object itself is never compared.  Ordering is identical
+        # to Event.__lt__ — exact float time, then scheduling order.
+        self._heap: List[Tuple[float, int, Event]] = []
         # Count of non-cancelled events in the heap, shared with every
         # Event so cancel() can keep it current without a scan.
         self._live: List[int] = [0]
@@ -111,6 +120,37 @@ class Simulator:
         # default — the plain run loop stays timing-free.
         self.profile_enabled = bool(profile)
         self._profile_sites: Dict[str, List[float]] = {}
+        # Named per-simulation serial counters (see serial()).
+        self._serials: Dict[str, int] = {}
+
+    def serial(self, name: str) -> int:
+        """Next value (1, 2, ...) of the per-simulation counter ``name``.
+
+        Components needing process-global-looking identifiers (e.g.
+        transport-level ACK uids that must not collide across flows)
+        draw them here instead of from module/class globals: a fresh
+        simulator always counts from zero again, so running two
+        simulations in one process yields identical traces — the
+        property every cross-engine digest comparison relies on.
+        """
+        value = self._serials.get(name, 0) + 1
+        self._serials[name] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Backend factory hooks (see repro.sim.protocol)
+    # ------------------------------------------------------------------
+    def make_medium(self, profile: Any, rss_dbm: Callable[[int, int], float],
+                    energy_floor_dbm: float = -105.0) -> Any:
+        """Build this engine's medium implementation.
+
+        The import is local: ``medium.py`` imports this module, and
+        the hook exists precisely so callers (the topology builder)
+        never name a concrete medium class.
+        """
+        from .medium import Medium
+        return Medium(self, profile, rss_dbm,
+                      energy_floor_dbm=energy_floor_dbm)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -129,8 +169,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self.now})"
             )
-        event = Event(time, next(self._seq), fn, args, self._live)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, self._live)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live[0] += 1
         return event
 
@@ -183,14 +224,14 @@ class Simulator:
         processed = 0
         try:
             while heap:
-                event = heap[0]
-                if event.time > until:
+                time = heap[0][0]
+                if time > until:
                     break
-                heappop(heap)
+                event = heappop(heap)[2]
                 if event.cancelled:
                     continue
                 live[0] -= 1
-                self.now = event.time
+                self.now = time
                 processed += 1
                 event.fn(*event.args)
         finally:
@@ -206,14 +247,14 @@ class Simulator:
         sites = self._profile_sites
         clock = wallclock.perf_counter
         while self._heap:
-            event = self._heap[0]
-            if event.time > until:
+            time = self._heap[0][0]
+            if time > until:
                 break
-            heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 continue
             self._live[0] -= 1
-            self.now = event.time
+            self.now = time
             self._events_processed += 1
             fn = event.fn
             t0 = clock()
@@ -253,7 +294,7 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the heap is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 continue
             self._live[0] -= 1
@@ -286,9 +327,9 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            event = heap[0]
-            if not event.cancelled:
-                return event.time
+            entry = heap[0]
+            if not entry[2].cancelled:
+                return entry[0]
             heapq.heappop(heap)
         return None
 

@@ -1,0 +1,28 @@
+"""Vectorized matrix backend for the simulation engine.
+
+A second implementation of the engine contract
+(:mod:`repro.sim.protocol`): the same heap-driven event loop as the
+reference :class:`~repro.sim.engine.Simulator`, but the per-edge energy
+bookkeeping — incoming-power totals, worst-case interference, trigger
+signature overlap, interrupt flags — is batched into numpy matrix
+operations over *all* receivers at once instead of per-radio Python
+loops.  Per-slot MAC timers are kept — their heap sequence numbers
+order simultaneous commits, so they are observable (see
+:mod:`repro.sim.protocol`) — but each tick's carrier-sense check is
+O(1) here instead of a reception-dict scan.
+
+The backend is selected once, at
+:func:`repro.experiments.common.run_scheme` (``engine="matrix"``), and
+is observationally indistinguishable from the reference engine: the
+canonical trace digests are byte-identical for the same
+(scheme, topology, seed).  See :mod:`repro.sim.matrix.medium` for the
+equivalence argument, float by float.
+"""
+
+from __future__ import annotations
+
+from .engine import MatrixSimulator
+from .medium import MatrixMedium
+from .radio import MatrixRadio
+
+__all__ = ["MatrixSimulator", "MatrixMedium", "MatrixRadio"]

@@ -82,6 +82,16 @@ class Medium:
     # ------------------------------------------------------------------
     # Registration / topology
     # ------------------------------------------------------------------
+    def make_radio(self, node_id: int) -> "Radio":
+        """Build (and register) this medium's radio implementation.
+
+        The factory counterpart of ``Simulator.make_medium``: nodes
+        attach through it so a matrix medium can hand out its own
+        radio type without the node layer knowing backends exist.
+        """
+        from .radio import Radio
+        return Radio(node_id, self)
+
     def register(self, radio: "Radio") -> None:
         if radio.node_id in self._radios:
             raise ValueError(f"duplicate radio for node {radio.node_id}")

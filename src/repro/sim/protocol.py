@@ -1,0 +1,103 @@
+"""The engine contract: what every simulation backend must provide.
+
+`repro` has two simulation backends behind one runtime contract:
+
+* :class:`~repro.sim.engine.Simulator` — the reference heap-based
+  discrete-event engine.  Every semantic question ("what order do
+  callbacks fire in?", "what does a timestamp tie mean?") is answered
+  by this implementation.
+* :class:`~repro.sim.matrix.MatrixSimulator` — the vectorized backend:
+  the same event loop, but media built through :meth:`make_medium`
+  batch the per-radio energy bookkeeping into numpy matrix operations.
+
+One tempting optimisation is deliberately **absent** from the
+contract: collapsing per-slot MAC countdown timers into one scheduled
+event.  Each per-slot hop re-enters the heap and receives a fresh
+sequence number *at that boundary*; when several stations' counters
+expire at the same float instant (the collision case the whole model
+exists to capture), those sequence numbers decide commit order — and
+whether a commit fires before or after a frame-end edge sharing the
+instant, which changes SINRs.  A one-shot timer carries a sequence
+number from when the countdown *started* and provably reorders such
+ties.  Slot timers are therefore part of the observable ordering
+contract; backends make them cheap (O(1) carrier-sense checks), not
+fewer.
+
+The contract is deliberately *behavioural*, not just structural: a
+conforming engine must produce **byte-identical canonical traces** for
+the same (scheme, topology, seed) as the reference engine.  The
+cross-backend digest tests in ``tests/sim/matrix`` and the
+``benchmarks/test_matrix_speedup.py`` bench enforce this the same way
+the sweep runner proved parallel == serial.
+
+Construction flows through two factory hooks so the backend choice is
+made exactly once, at :func:`repro.experiments.common.run_scheme`:
+
+* ``sim.make_medium(profile, rss_fn)`` — the engine picks its medium
+  implementation (:class:`~repro.sim.medium.Medium` or
+  :class:`~repro.sim.matrix.medium.MatrixMedium`);
+* ``medium.make_radio(node_id)`` — the medium picks its radio.
+
+Everything above the medium (MACs, traffic, controllers, telemetry)
+is backend-agnostic and must stay that way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from .phy import PhyProfile
+
+
+@runtime_checkable
+class EventHandle(Protocol):
+    """A scheduled callback that can be cancelled (lazy deletion)."""
+
+    time: float
+    cancelled: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class EngineProtocol(Protocol):
+    """Runtime contract shared by the event and matrix backends.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in microseconds.
+    rng:
+        The engine-owned seeded :class:`random.Random`.  Components
+        needing independent streams derive
+        ``random.Random(sim.rng.getrandbits(64))`` — the *order* of
+        derivations is part of the determinism contract.
+    """
+
+    now: float
+    rng: random.Random
+
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> EventHandle: ...
+
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any) -> EventHandle: ...
+
+    def run(self, until: float) -> None: ...
+
+    def step(self) -> bool: ...
+
+    @property
+    def events_processed(self) -> int: ...
+
+    @property
+    def pending(self) -> int: ...
+
+    def next_event_time(self) -> Optional[float]: ...
+
+    def serial(self, name: str) -> int: ...
+
+    def make_medium(self, profile: PhyProfile,
+                    rss_dbm: Callable[[int, int], float],
+                    energy_floor_dbm: float = -105.0) -> Any: ...

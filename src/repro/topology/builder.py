@@ -70,7 +70,9 @@ class Topology:
                                margin_db=margin_db)
 
     def build_medium(self, sim: Simulator) -> Medium:
-        medium = Medium(sim, self.profile, self.trace.rss_fn())
+        # The engine picks its medium implementation (event vs matrix
+        # backend); the topology only supplies PHY + RSS ground truth.
+        medium = sim.make_medium(self.profile, self.trace.rss_fn())
         self.network.attach_all(medium)
         return medium
 

@@ -280,8 +280,11 @@ class TcpFlow:
         ack.meta["tcp_ack"] = self._expected
         self.dst_mac.enqueue(ack)
 
-    _ack_uid = 0
-
     def _next_ack_uid(self) -> int:
-        TcpFlow._ack_uid += 1
-        return TcpFlow._ack_uid
+        # ACK segments need seq numbers that cannot collide with the
+        # reverse flow's data seqs under the MAC's (flow, seq) dedup
+        # key, so they come from one counter shared by every flow in
+        # the simulation.  Per-simulation (not a class global): a
+        # fresh run must count from zero again or back-to-back runs
+        # in one process produce different traces.
+        return self.sim.serial("tcp_ack_uid")

@@ -1,0 +1,8 @@
+"""DOM401 fixture: third-party imports absent from [project] deps."""
+
+import scipy
+from pandas import DataFrame
+
+
+def shape(frame: DataFrame):
+    return scipy.shape(frame)

@@ -1,0 +1,20 @@
+"""Compliant dependency use: declared, stdlib, or properly gated."""
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy
+
+try:
+    import scipy
+except ImportError:          # optional accelerator, gated by design
+    scipy = None
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from pandas import DataFrame
+
+
+def norm(values) -> float:
+    if scipy is not None:
+        return float(scipy.linalg.norm(values))
+    return math.sqrt(float(numpy.sum(numpy.square(values))))

@@ -12,6 +12,7 @@ BAD_FIXTURES = [
     ("src/fake/sim/bad_dom102.py", "DOM102"),
     ("src/fake/sim/bad_dom103.py", "DOM103"),
     ("src/fake/sim/bad_dom104.py", "DOM104"),
+    ("src/fake/sim/bad_dom401.py", "DOM401"),
     ("src/fake/util/bad_dom201.py", "DOM201"),
     ("src/fake/rogue/bad_dom202.py", "DOM202"),
     ("src/fake/app/bad_dom301.py", "DOM301"),
@@ -20,6 +21,7 @@ BAD_FIXTURES = [
 
 GOOD_FIXTURES = [
     "src/fake/sim/good.py",
+    "src/fake/sim/good_deps.py",
     "src/fake/sim/suppressed.py",
     "src/fake/util/good.py",
     "src/fake/app/good_emit.py",

@@ -1,0 +1,96 @@
+"""Cross-backend determinism: matrix traces == event traces, byte for byte.
+
+The engine contract (:mod:`repro.sim.protocol`) is behavioural: for
+any (scheme, topology, traffic, seed) the matrix backend must produce
+the *same canonical trace* as the reference event engine.  These tests
+run the three paper workloads the acceptance gate names — Fig. 2
+(saturated fig1 topology, all four schemes), Fig. 12 (T(10, 2),
+UDP and TCP) and Fig. 14 (random T(20, 3)) — on both backends at
+CI-sized horizons and compare sha256 digests; on mismatch the
+:func:`~repro.telemetry.analysis.diff_traces` report names the first
+divergent record/slot.
+
+The full-horizon fig14 comparison runs in
+``benchmarks/test_matrix_speedup.py`` (the CI ``matrix-engine`` job);
+shorter horizons here keep the tier-1 suite fast while exercising the
+same code paths — divergence is per-event, not per-horizon.
+"""
+
+import pytest
+
+from repro.experiments.common import run_scheme
+from repro.runner import trace_digest
+from repro.telemetry.analysis import diff_traces
+from repro.topology.builder import (build_t_topology, fig1_topology,
+                                    random_t_topology)
+from repro.topology.trace import two_building_trace
+
+
+def _digest_pair(scheme, make_topology, seed, horizon_us, **run_kwargs):
+    """(records, digest) per engine for one configuration."""
+    out = {}
+    for engine in ("event", "matrix"):
+        result = run_scheme(scheme, make_topology(),
+                            horizon_us=horizon_us, seed=seed,
+                            trace=True, engine=engine, **run_kwargs)
+        records = result.trace.records()
+        out[engine] = (records, trace_digest(records))
+    return out
+
+
+def _assert_identical(pair, label):
+    (a_records, a_digest), (b_records, b_digest) = (pair["event"],
+                                                    pair["matrix"])
+    if a_digest != b_digest:
+        diff = diff_traces(a_records, b_records)
+        pytest.fail(f"{label}: matrix trace diverged from event trace\n"
+                    f"{diff.render()}")
+    assert len(a_records) > 0, f"{label}: empty trace proves nothing"
+
+
+@pytest.mark.parametrize("scheme",
+                         ["dcf", "centaur", "domino", "omniscient"])
+def test_fig02_saturated_identity(scheme):
+    pair = _digest_pair(scheme, fig1_topology, seed=1,
+                        horizon_us=120_000.0, saturated=True)
+    _assert_identical(pair, f"fig02/{scheme}")
+
+
+@pytest.mark.parametrize("scheme", ["dcf", "domino"])
+@pytest.mark.parametrize("tcp", [False, True], ids=["udp", "tcp"])
+def test_fig12_t_topology_identity(scheme, tcp):
+    def topo():
+        return build_t_topology(two_building_trace(), 10, 2, seed=3)
+
+    pair = _digest_pair(scheme, topo, seed=1, horizon_us=100_000.0,
+                        downlink_mbps=10.0, uplink_mbps=2.0, tcp=tcp)
+    _assert_identical(pair, f"fig12/{scheme}/{'tcp' if tcp else 'udp'}")
+
+
+@pytest.mark.parametrize("scheme", ["dcf", "domino"])
+def test_fig14_random_identity(scheme):
+    def topo():
+        return random_t_topology(20, 3, seed=100)
+
+    pair = _digest_pair(scheme, topo, seed=100, horizon_us=60_000.0,
+                        downlink_mbps=10.0, uplink_mbps=10.0)
+    _assert_identical(pair, f"fig14/{scheme}")
+
+
+def test_same_process_reruns_are_identical():
+    """Two runs in one process must match (Simulator.serial counters).
+
+    Guards the regression where a class-global counter (e.g. TCP ACK
+    uids) leaked state across runs, so only the *first* run in a
+    process matched a fresh process's trace.
+    """
+    def topo():
+        return build_t_topology(two_building_trace(), 6, 2, seed=3)
+
+    digests = []
+    for _ in range(2):
+        result = run_scheme("dcf", topo(), horizon_us=60_000.0, seed=1,
+                            downlink_mbps=8.0, uplink_mbps=2.0, tcp=True,
+                            trace=True, engine="matrix")
+        digests.append(trace_digest(result.trace.records()))
+    assert digests[0] == digests[1]
