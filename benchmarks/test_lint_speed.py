@@ -1,0 +1,77 @@
+"""Lint-speed guard: the dataflow engine must not tax the edit loop.
+
+dominolint v2 parses the *whole* src tree on every run (the taint and
+transitive phases need the full program view), which without care
+would turn a sub-second pre-commit check into a multi-second stall.
+The content-hash cache (:mod:`repro.lint.cache`) is the fix: a warm
+run re-parses nothing and only replays serialized facts.
+
+Budget (asserted): a warm whole-tree run completes in under 2 s.
+The measured wall time lands in ``BENCH_lint.json`` and the trend
+history, where ``lint_wall_s`` is gated — a 15 % creep over the
+recorded median fails CI before the edit loop feels it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.lint import load_config
+from repro.lint.cache import LintCache, cache_salt
+from repro.lint.runner import lint_paths
+
+import trend
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = os.path.join(str(REPO_ROOT), "BENCH_lint.json")
+
+MAX_WARM_WALL_S = 2.0
+
+
+def _lint_tree(cache: LintCache) -> int:
+    config = load_config(REPO_ROOT)
+    stream = io.StringIO()
+    code = lint_paths([REPO_ROOT / "src"], config, stderr=stream,
+                      cache=cache)
+    assert code == 0, f"live tree has findings:\n{stream.getvalue()}"
+    return code
+
+
+def test_lint_whole_tree_warm_under_budget(once, tmp_path):
+    config = load_config(REPO_ROOT)
+    salt = cache_salt(config)
+    cache_path = tmp_path / "lint-cache.json"
+
+    started = time.perf_counter()
+    cold_cache = LintCache(cache_path, salt)
+    _lint_tree(cold_cache)
+    cold_cache.save()
+    cold_s = time.perf_counter() - started
+
+    def warm_run():
+        begun = time.perf_counter()
+        _lint_tree(LintCache(cache_path, salt))
+        return time.perf_counter() - begun
+
+    warm_s = once(warm_run)
+
+    assert warm_s < MAX_WARM_WALL_S, (
+        f"warm whole-tree lint took {warm_s:.2f}s "
+        f"(budget {MAX_WARM_WALL_S}s)")
+
+    payload = {
+        "bench": "lint_speed",
+        "lint_wall_s": round(warm_s, 4),
+        "lint_wall_cold_s": round(cold_s, 4),
+        "budget_s": MAX_WARM_WALL_S,
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    trend.append("lint_speed", {
+        "lint_wall_s": payload["lint_wall_s"],
+        "lint_wall_cold_s": payload["lint_wall_cold_s"],
+    })

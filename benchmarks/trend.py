@@ -72,6 +72,10 @@ GATED_METRICS: Dict[str, str] = {
     # same flat-latency expectation as revision_p99_ms.
     "export_overhead_pct": "lower",
     "revision_phase_p99_ms": "lower",
+    # Warm whole-tree dominolint wall time (benchmarks/test_lint_speed):
+    # the content-hash cache keeps the dataflow phases out of the edit
+    # loop, and this gate keeps them out for good.
+    "lint_wall_s": "lower",
 }
 
 #: History below this many prior entries is not gated — a median of

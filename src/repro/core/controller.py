@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..metrics.timeline import TimelineRecorder
-from ..sched.interference_map import InterferenceMap
+from ..topology.interference_map import InterferenceMap
 from ..sched.rand_scheduler import RandScheduler
 from ..sim.engine import Event, Simulator
 from ..sim.medium import Medium
@@ -82,7 +82,7 @@ class DominoController:
         # snapshot of the ground truth at association time (built with
         # the Sec. 5 beacon campaign in a real deployment).  Under
         # mobility it goes stale until the next campaign refreshes it.
-        from ..sched.interference_map import InterferenceMap
+        from ..topology.interference_map import InterferenceMap
         from ..topology.propagation import matrix_rss_fn
         self.rss_matrix = topology.trace.rss_dbm.copy()
         self.imap = InterferenceMap(matrix_rss_fn(self.rss_matrix),
@@ -405,7 +405,7 @@ class DominoController:
 
     def refresh_from_observations(self, store: "ObservationStore") -> int:
         """Fold campaign observations in and rebuild the control plane."""
-        from ..sched.interference_map import InterferenceMap
+        from ..topology.interference_map import InterferenceMap
         from ..topology.propagation import matrix_rss_fn
 
         updated = store.apply_to_matrix(self.rss_matrix)

@@ -35,7 +35,7 @@ from typing import (Dict, FrozenSet, Iterable, List, Optional,
 
 import networkx as nx
 
-from ..sched.interference_map import InterferenceMap
+from ..topology.interference_map import InterferenceMap
 from ..sched.strict_schedule import StrictSchedule
 from ..topology.links import Link
 from .conversion_cache import (CachedConversion, ConversionCache, CacheKey,

@@ -21,11 +21,26 @@ patterns that break it *at commit time*:
   packages must appear in ``[project] dependencies`` (or hide behind
   ``TYPE_CHECKING`` / a ``try/except ImportError`` gate), so a clean
   install can always import the simulation core.
+* **Async/concurrency rules (DOM5xx)** — in the asyncio service
+  packages, guarded controller/registry state must not mutate across
+  an ``await`` boundary outside a lock/epoch guard (DOM501), task
+  handles must be retained (DOM502), and only picklable module-level
+  functions may cross the process-pool boundary (DOM503).
+* **Dataflow rules (DOM105/DOM106, DOM203)** — a whole-tree phase:
+  per-function CFGs and a module call graph track wall-clock/RNG
+  values laundered into sim code through helper calls (with
+  ``repro.telemetry.wallclock`` as the blessed sanitizer), and the
+  *transitive* import closure is checked for cycles and layering
+  escapes the per-edge DOM201 check cannot see.
 
 Run it as ``python -m repro.lint [paths]`` (paths default to ``src``).
 Findings go to stderr as ``path:line:col: RULE message``; exit code 0
 means clean, 1 means findings, 2 means bad input (unreadable path,
 syntax error, broken config) — the same convention as the doctor CLI.
+``--format sarif`` renders the findings as one SARIF 2.1.0 document on
+stdout for CI code-scanning; ``--no-cache`` bypasses the content-hash
+cache (``.dominolint-cache.json``) that makes warm whole-tree runs
+cheap.
 
 Suppress a deliberate violation on its own line::
 

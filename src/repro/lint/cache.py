@@ -1,0 +1,135 @@
+"""Content-hash cache for per-file findings and module facts.
+
+The dataflow phases forced a whole-tree parse on every invocation;
+without a cache that would tax the edit-lint loop for every file in
+the repo on each run.  The cache keys each file's *post-suppression*
+per-file findings and its serialized :class:`ModuleFacts` by the
+SHA-256 of the file's bytes, so a warm run re-parses nothing.
+
+Correctness hinges on the salt: per-file results also depend on the
+linter's own source, the ``pyproject.toml`` configuration, and the
+telemetry schema modules (the emission rules check call sites in *any*
+file against the registry built from ``events.py``).  All of those are
+folded into one salt; when any changes, the whole cache drops.  The
+cache file itself (``.dominolint-cache.json`` at the repo root) is a
+throwaway artifact — corrupt or stale caches degrade to a cold run,
+never to wrong output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .callgraph import ModuleFacts
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .config import Config
+
+CACHE_FILENAME = ".dominolint-cache.json"
+
+#: Cache-format version, independent of the facts schema version.
+CACHE_VERSION = 1
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def cache_salt(config: "Config") -> str:
+    """Digest of everything per-file results depend on besides the file."""
+    digest = hashlib.sha256()
+    lint_pkg = Path(__file__).resolve().parent
+    for source in sorted(lint_pkg.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    for dependency in (config.root / "pyproject.toml",
+                       config.schema_events, config.schema_recorder,
+                       config.schema_baseline):
+        digest.update(str(dependency).encode())
+        if dependency.is_file():
+            digest.update(dependency.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """sha-keyed (findings, facts) store for one repository."""
+
+    def __init__(self, path: Path, salt: str):
+        self.path = path
+        self.salt = salt
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("v") != CACHE_VERSION \
+                or data.get("salt") != self.salt:
+            return  # stale toolchain/config: cold-start
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def get(self, rel: str, sha: str,
+            ) -> Optional[Tuple[List[Finding], Optional[ModuleFacts]]]:
+        """Cached (findings, facts) for ``rel`` at ``sha``, or ``None``."""
+        entry = self._files.get(rel)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        try:
+            findings = [
+                Finding(path=str(row[0]), line=int(row[1]),
+                        col=int(row[2]), rule=str(row[3]),
+                        message=str(row[4]))
+                for row in entry["findings"]
+            ]
+            raw_facts = entry["facts"]
+            facts = (ModuleFacts.from_json(raw_facts)
+                     if raw_facts is not None else None)
+        except (KeyError, IndexError, TypeError, ValueError):
+            return None
+        if entry["facts"] is not None and facts is None:
+            return None  # facts schema version bumped under the salt
+        return findings, facts
+
+    def put(self, rel: str, sha: str, findings: List[Finding],
+            facts: Optional[ModuleFacts]) -> None:
+        self._files[rel] = {
+            "sha": sha,
+            "findings": [
+                [f.path, f.line, f.col, f.rule, f.message]
+                for f in findings
+            ],
+            "facts": facts.to_json() if facts is not None else None,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "v": CACHE_VERSION,
+            "salt": self.salt,
+            "files": self._files,
+        }
+        try:
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(self.path)
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+
+
+def open_cache(config: "Config") -> LintCache:
+    return LintCache(config.root / CACHE_FILENAME, cache_salt(config))
+
+
+__all__ = ["CACHE_FILENAME", "LintCache", "cache_salt", "file_digest",
+           "open_cache"]

@@ -1,0 +1,430 @@
+"""Whole-tree module facts: imports, functions, and the call graph.
+
+The per-node rules (DOM1xx syntactic, DOM2xx direct, DOM3xx, DOM4xx,
+DOM5xx) look at one file at a time; the *flow* rules need a view of
+the whole ``src`` tree:
+
+* :class:`ModuleFacts` is everything the cross-file phases need from
+  one module, extracted in a single AST pass and — crucially — fully
+  JSON-serializable, so the content-hash cache can skip re-parsing
+  unchanged files entirely.
+* :class:`ProgramIndex` is the assembled whole-program view: the
+  module import graph (including *lazy* function-level imports, which
+  direct layering checks can be talked out of with an inline
+  suppression) and the function table with call edges, which the taint
+  engine (:mod:`repro.lint.taint`) runs its fixpoint over.
+
+Call resolution is deliberately best-effort static: direct calls to
+names imported with ``from m import f``, ``m.f(...)`` through a module
+alias, local functions, and ``self.method(...)`` within a class body.
+Unresolved calls are treated as taint-free — the engine under-reports
+rather than guessing, the same trade every static taint tool makes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .layering import _resolve_relative
+
+#: Serialized-facts schema version; bump on shape changes so stale
+#: cache entries self-invalidate.
+FACTS_VERSION = 1
+
+
+@dataclass
+class ImportEdge:
+    """One first-party import site."""
+
+    target: str               # absolute dotted module/attr path
+    lineno: int
+    col: int
+    lazy: bool                # inside a function body (deferred)
+    type_checking: bool       # under ``if TYPE_CHECKING:`` (never runs)
+
+    def to_json(self) -> List[Any]:
+        return [self.target, self.lineno, self.col,
+                int(self.lazy), int(self.type_checking)]
+
+    @staticmethod
+    def from_json(row: Sequence[Any]) -> "ImportEdge":
+        return ImportEdge(str(row[0]), int(row[1]), int(row[2]),
+                          bool(row[3]), bool(row[4]))
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    callee: Optional[str]     # resolved dotted target, or None
+    raw: str                  # the source spelling (for messages)
+    lineno: int
+    col: int
+
+    def to_json(self) -> List[Any]:
+        return [self.callee, self.raw, self.lineno, self.col]
+
+    @staticmethod
+    def from_json(row: Sequence[Any]) -> "CallSite":
+        return CallSite(row[0], str(row[1]), int(row[2]), int(row[3]))
+
+
+@dataclass
+class FunctionFacts:
+    """Taint-relevant summary of one function or method."""
+
+    qname: str                          # module-qualified dotted name
+    lineno: int
+    calls: List[CallSite] = field(default_factory=list)
+    #: Taint kinds ("wallclock"/"rng") the return value derives from
+    #: *directly* (a source call flowing into a return).
+    direct_return_taint: List[str] = field(default_factory=list)
+    #: Resolved callees whose return value flows into this function's
+    #: return value — the interprocedural propagation edges.
+    return_deps: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "qname": self.qname,
+            "lineno": self.lineno,
+            "calls": [c.to_json() for c in self.calls],
+            "direct": list(self.direct_return_taint),
+            "ret_deps": list(self.return_deps),
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, Any]) -> "FunctionFacts":
+        return FunctionFacts(
+            qname=str(data["qname"]),
+            lineno=int(data["lineno"]),
+            calls=[CallSite.from_json(c) for c in data["calls"]],
+            direct_return_taint=[str(k) for k in data["direct"]],
+            return_deps=[str(d) for d in data["ret_deps"]],
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the cross-file phases need from one module."""
+
+    module: str
+    path: str                           # root-relative, for findings
+    imports: List[ImportEdge] = field(default_factory=list)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    #: ``lineno -> [RULE, ...]`` inline suppressions, so cross-file
+    #: findings can honour them without re-reading the source.
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "v": FACTS_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "imports": [e.to_json() for e in self.imports],
+            "functions": {q: f.to_json()
+                          for q, f in sorted(self.functions.items())},
+            "suppressions": {str(line): rules for line, rules
+                             in sorted(self.suppressions.items())},
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, Any]) -> Optional["ModuleFacts"]:
+        if data.get("v") != FACTS_VERSION:
+            return None
+        return ModuleFacts(
+            module=str(data["module"]),
+            path=str(data["path"]),
+            imports=[ImportEdge.from_json(e) for e in data["imports"]],
+            functions={str(q): FunctionFacts.from_json(f)
+                       for q, f in data["functions"].items()},
+            suppressions={int(line): [str(r) for r in rules]
+                          for line, rules in data["suppressions"].items()},
+        )
+
+
+class _Scope:
+    """Name bindings visible to call resolution in one module."""
+
+    def __init__(self, module: str, root: str):
+        self.module = module
+        self.root = root
+        #: local alias -> absolute dotted target ("np" -> "numpy",
+        #: "perf_counter" -> "time.perf_counter", ...).
+        self.aliases: Dict[str, str] = {}
+        #: names defined as functions/classes at module level.
+        self.module_defs: Dict[str, str] = {}
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading alias of ``a.b.c`` if one is bound."""
+        head, sep, rest = dotted.partition(".")
+        if head in self.aliases:
+            return self.aliases[head] + (sep + rest if rest else "")
+        if head in self.module_defs and not rest:
+            return self.module_defs[head]
+        return dotted
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _FactsExtractor(ast.NodeVisitor):
+    """One pass over a module: imports, aliases, function summaries."""
+
+    def __init__(self, facts: ModuleFacts, is_package: bool):
+        self.facts = facts
+        self.is_package = is_package
+        self.root = facts.module.split(".")[0]
+        self.scope = _Scope(facts.module, self.root)
+        self._func_depth = 0
+        self._type_checking = 0
+        self._class_stack: List[str] = []
+
+    # -- imports --------------------------------------------------------
+    def _record_import(self, node: ast.AST, target: str) -> None:
+        if target == self.root or target.startswith(self.root + "."):
+            self.facts.imports.append(ImportEdge(
+                target=target,
+                lineno=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                lazy=self._func_depth > 0,
+                type_checking=self._type_checking > 0,
+            ))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record_import(node, alias.name)
+            bound = alias.asname or alias.name.split(".")[0]
+            self.scope.aliases[bound] = (alias.name if alias.asname
+                                         else alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = _resolve_relative(self.facts.module, self.is_package,
+                                 node.level, node.module)
+        if base is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = f"{base}.{alias.name}"
+            self._record_import(node, target)
+            self.scope.aliases[alias.asname or alias.name] = target
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    # -- definitions ----------------------------------------------------
+    def _qualify(self, name: str) -> str:
+        if self._class_stack:
+            return ".".join([self.facts.module, *self._class_stack, name])
+        return f"{self.facts.module}.{name}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._func_depth == 0 and not self._class_stack:
+            self.scope.module_defs[node.name] = self._qualify(node.name)
+        self._class_stack.append(node.name)
+        for child in node.body:
+            self.visit(child)
+        self._class_stack.pop()
+
+    def _visit_func(self, node: Any) -> None:
+        if self._func_depth == 0 and not self._class_stack:
+            self.scope.module_defs[node.name] = self._qualify(node.name)
+        qname = self._qualify(node.name)
+        if self._func_depth == 0:
+            summary = summarize_function(
+                node, self.scope, self._class_stack[-1]
+                if self._class_stack else None)
+            summary.qname = qname
+            self.facts.functions[qname] = summary
+        self._func_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self._func_depth -= 1
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+# ----------------------------------------------------------------------
+# Function summaries (the intra-procedural half of the taint engine
+# lives in taint.py; this records call sites for the call graph)
+# ----------------------------------------------------------------------
+def resolve_call(dotted: str, scope: _Scope,
+                 cls: Optional[str]) -> Optional[str]:
+    """Best-effort static target of one call spelling, or ``None``."""
+    if dotted.startswith("self.") and cls is not None:
+        method = dotted[len("self."):]
+        if "." not in method:
+            return f"{scope.module}.{cls}.{method}"
+        return None
+    resolved = scope.resolve(dotted)
+    if resolved.split(".")[0] == scope.root:
+        return resolved
+    return None
+
+
+def summarize_function(node: ast.AST, scope: _Scope,
+                       cls: Optional[str]) -> FunctionFacts:
+    """Call sites + intra-procedural taint summary of one function."""
+    from .taint import intra_taint  # callgraph <-> taint: one lazy leg
+
+    facts = FunctionFacts(qname="", lineno=getattr(node, "lineno", 1))
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        dotted = _dotted(child.func)
+        if dotted is None:
+            continue
+        facts.calls.append(CallSite(
+            callee=resolve_call(dotted, scope, cls), raw=dotted,
+            lineno=child.lineno, col=child.col_offset))
+    direct, ret_deps = intra_taint(node, scope, cls)
+    facts.direct_return_taint = sorted(direct)
+    facts.return_deps = sorted(ret_deps)
+    return facts
+
+
+def extract_facts(tree: ast.AST, module: str, path: str,
+                  is_package: bool,
+                  suppressions: Dict[int, List[str]]) -> ModuleFacts:
+    """All cross-file facts for one parsed module."""
+    facts = ModuleFacts(module=module, path=path,
+                        suppressions=dict(suppressions))
+    extractor = _FactsExtractor(facts, is_package)
+    # Two passes so calls resolve against *all* module-level bindings,
+    # not just the ones lexically above the call site.
+    _prebind(tree, extractor)
+    for node in ast.iter_child_nodes(tree):
+        extractor.visit(node)
+    return facts
+
+
+def _prebind(tree: ast.AST, extractor: _FactsExtractor) -> None:
+    """Pre-register module-level defs and imports for resolution."""
+    scope = extractor.scope
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                scope.aliases.setdefault(
+                    bound, alias.name if alias.asname
+                    else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(extractor.facts.module,
+                                     extractor.is_package,
+                                     node.level, node.module)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    scope.aliases.setdefault(alias.asname or alias.name,
+                                             f"{base}.{alias.name}")
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            scope.module_defs.setdefault(
+                node.name, f"{extractor.facts.module}.{node.name}")
+
+
+# ----------------------------------------------------------------------
+# The assembled whole-program view
+# ----------------------------------------------------------------------
+class ProgramIndex:
+    """Modules, functions and import edges of the whole src tree."""
+
+    def __init__(self, modules: Dict[str, ModuleFacts]):
+        self.modules = modules
+        self.functions: Dict[str, FunctionFacts] = {}
+        for facts in modules.values():
+            self.functions.update(facts.functions)
+
+    def module_of_function(self, qname: str) -> Optional[str]:
+        """Longest known module prefix of a function qname."""
+        parts = qname.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def resolve_function(self, target: str) -> Optional[FunctionFacts]:
+        """A callee target to its function facts, if defined in-tree.
+
+        Handles the ``package.attr`` spelling produced when a name is
+        imported from a package ``__init__`` re-export hub by also
+        trying the bare function name against every module that ends
+        with the package path — cheap, and re-export hubs are few.
+        """
+        if target in self.functions:
+            return self.functions[target]
+        # ``pkg.sub.f`` where ``pkg.sub`` re-exports f from a child.
+        module, _, name = target.rpartition(".")
+        if module in self.modules:
+            for facts in self.modules.values():
+                if facts.module.startswith(module + "."):
+                    candidate = f"{facts.module}.{name}"
+                    if candidate in self.functions:
+                        return self.functions[candidate]
+        return None
+
+    def package_import_edges(
+            self, package_of: Any,
+            include_type_checking: bool = False,
+    ) -> Dict[Tuple[str, str], Tuple[str, ImportEdge]]:
+        """Package-level edges with their first (provenance) site.
+
+        Maps ``(src_pkg, dst_pkg)`` to ``(path, edge)`` — the file and
+        import statement that first creates the edge, in deterministic
+        module order, so findings always anchor to the same line.
+        """
+        edges: Dict[Tuple[str, str], Tuple[str, ImportEdge]] = {}
+        for module in sorted(self.modules):
+            facts = self.modules[module]
+            src_pkg = package_of(module)
+            for edge in sorted(facts.imports,
+                               key=lambda e: (e.lineno, e.col)):
+                if edge.type_checking and not include_type_checking:
+                    continue
+                dst_pkg = package_of(edge.target)
+                if dst_pkg == src_pkg:
+                    continue
+                key = (src_pkg, dst_pkg)
+                if key not in edges:
+                    edges[key] = (facts.path, edge)
+        return edges
+
+
+def build_index(facts_list: Sequence[ModuleFacts]) -> ProgramIndex:
+    return ProgramIndex({facts.module: facts for facts in facts_list})
+
+
+__all__ = [
+    "CallSite", "FunctionFacts", "ImportEdge", "ModuleFacts",
+    "ProgramIndex", "build_index", "extract_facts", "summarize_function",
+]

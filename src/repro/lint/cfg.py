@@ -1,0 +1,255 @@
+"""Per-function control-flow graphs for the dataflow rules.
+
+The granularity is the *statement*: each simple statement (and each
+compound statement's header) is one CFG node, with successor edges for
+sequencing, branches, loop back-edges, ``break``/``continue``, and the
+conservative "any statement in a ``try`` body may jump to any
+handler" rule.  ``return``/``raise``/``continue``/``break`` end their
+block (no fall-through edge).
+
+Two questions the rule families ask of a CFG:
+
+* :func:`await_crossed` — which statements may execute *after* an
+  ``await`` has yielded the event loop (DOM501: shared state observed
+  before the await can be stale by the time these statements run).
+* :func:`guarded_statements` — which statements sit lexically inside a
+  ``with``/``async with`` whose context manager looks like a lock or
+  epoch guard (the explicit-guard exemption).
+
+The builder is deliberately conservative: extra edges make the await
+analysis *more* suspicious, never less, which is the right failure
+mode for a determinism linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Context-manager name fragments recognized as an explicit guard for
+#: the DOM501 exemption (``async with self._revision_lock:`` etc.).
+GUARD_NAME_FRAGMENTS = ("lock", "guard", "epoch", "mutex")
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.stmts: List[ast.stmt] = []
+        self.succ: Dict[int, Set[int]] = {}
+
+    def add(self, stmt: ast.stmt) -> int:
+        node = len(self.stmts)
+        self.stmts.append(stmt)
+        self.succ[node] = set()
+        return node
+
+    def edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def reachable_from(self, roots: Iterable[int]) -> Set[int]:
+        """All nodes reachable along one or more edges from ``roots``."""
+        seen: Set[int] = set()
+        frontier = list(roots)
+        while frontier:
+            node = frontier.pop()
+            for nxt in self.succ.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+
+class _Builder:
+    """Recursive-descent CFG construction with loop/exception frames."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # (continue-targets, break-collector) per enclosing loop.
+        self._loops: List[Tuple[int, List[int]]] = []
+
+    # -- plumbing -------------------------------------------------------
+    def _link(self, preds: Sequence[int], node: int) -> None:
+        for pred in preds:
+            self.cfg.edge(pred, node)
+
+    def _new(self, stmt: ast.stmt, preds: Sequence[int]) -> int:
+        node = self.cfg.add(stmt)
+        self._link(preds, node)
+        return node
+
+    # -- statement dispatch ---------------------------------------------
+    def block(self, stmts: Sequence[ast.stmt],
+              preds: Sequence[int]) -> List[int]:
+        """Thread ``stmts``; returns the exits that fall through.
+
+        Statements after a terminator still get nodes (entered from
+        nowhere — they are unreachable, and the await analysis treats
+        them accordingly).
+        """
+        current = list(preds)
+        for stmt in stmts:
+            current = self.statement(stmt, current)
+        return current
+
+    def statement(self, stmt: ast.stmt,
+                  preds: Sequence[int]) -> List[int]:
+        node = self._new(stmt, preds)
+
+        if isinstance(stmt, (ast.If,)):
+            body_exits = self.block(stmt.body, [node])
+            else_exits = self.block(stmt.orelse, [node]) if stmt.orelse \
+                else [node]
+            return [*body_exits, *else_exits]
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: List[int] = []
+            self._loops.append((node, breaks))
+            body_exits = self.block(stmt.body, [node])
+            self._loops.pop()
+            self._link(body_exits, node)  # back edge
+            else_exits = self.block(stmt.orelse, [node]) if stmt.orelse \
+                else [node]
+            return [*else_exits, *breaks]
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(stmt.body, [node])
+
+        if isinstance(stmt, ast.Try):
+            body_start = len(self.cfg.stmts)
+            body_exits = self.block(stmt.body, [node])
+            body_nodes = range(body_start, len(self.cfg.stmts))
+            exits: List[int] = []
+            for handler in stmt.handlers:
+                # Any statement in the try body may transfer to any
+                # handler — the conservative exception edge.
+                entry = self._new(handler, [node])  # type: ignore[arg-type]
+                for body_node in body_nodes:
+                    self.cfg.edge(body_node, entry)
+                exits.extend(self.block(handler.body, [entry]))
+            else_exits = self.block(stmt.orelse, body_exits) \
+                if stmt.orelse else list(body_exits)
+            exits.extend(else_exits)
+            if stmt.finalbody:
+                return self.block(stmt.finalbody, exits or [node])
+            return exits
+
+        if isinstance(stmt, ast.Match):
+            exits = []
+            for case in stmt.cases:
+                exits.extend(self.block(case.body, [node]))
+            exits.append(node)  # no case may match
+            return exits
+
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self.cfg.edge(node, self._loops[-1][0])
+            return []
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return []
+
+        # Nested defs/classes are opaque single nodes: their bodies are
+        # separate CFGs built on demand by the rules.
+        return [node]
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """The statement-level CFG of ``func``'s body.
+
+    Node 0 is a synthetic entry carrying the ``def`` header itself.
+    """
+    builder = _Builder()
+    entry = builder.cfg.add(func)  # synthetic entry: the def header
+    builder.block(func.body, [entry])
+    return builder.cfg
+
+
+def contains_await(stmt: ast.AST) -> bool:
+    """Does ``stmt`` suspend?  Nested defs/lambdas are opaque."""
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        return True
+
+    frontier: List[ast.AST] = [stmt]
+    while frontier:
+        node = frontier.pop()
+        if node is not stmt and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                       ast.ClassDef)):
+            continue  # a nested scope's awaits are its own business
+        if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            return True
+        frontier.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def await_crossed(cfg: CFG) -> Set[int]:
+    """Node ids that may execute after an ``await`` has suspended.
+
+    A node that *itself* awaits is included: by the time the rest of
+    the statement (e.g. the store in ``self.x = await q.get()``) runs,
+    the loop has been yielded.  The synthetic entry (node 0, the
+    ``def`` header) never counts as an await of its own.
+    """
+    await_nodes = [
+        node for node, stmt in enumerate(cfg.stmts)
+        if node != 0
+        and not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef))
+        and contains_await(stmt)
+    ]
+    crossed = cfg.reachable_from(await_nodes)
+    crossed.update(await_nodes)
+    return crossed
+
+
+def _names_in(expr: ast.AST) -> Iterable[str]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _looks_like_guard(item: ast.withitem) -> bool:
+    return any(
+        any(fragment in name.lower() for fragment in GUARD_NAME_FRAGMENTS)
+        for name in _names_in(item.context_expr)
+    )
+
+
+def guarded_statements(func: FuncDef) -> Set[int]:
+    """Line numbers lexically inside a lock/guard ``with`` block."""
+    lines: Set[int] = set()
+
+    def visit(stmts: Sequence[ast.stmt], inside: bool) -> None:
+        for stmt in stmts:
+            here = inside
+            if isinstance(stmt, (ast.With, ast.AsyncWith)) and any(
+                    _looks_like_guard(item) for item in stmt.items):
+                here = True
+            if here:
+                end = getattr(stmt, "end_lineno", None) or stmt.lineno
+                lines.update(range(stmt.lineno, end + 1))
+            for field in ("body", "orelse", "finalbody"):
+                children = getattr(stmt, field, None)
+                if children:
+                    visit(children, here)
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body, here)
+            for case in getattr(stmt, "cases", []) or []:
+                visit(case.body, here)
+
+    visit(func.body, False)
+    return lines
+
+
+__all__ = [
+    "CFG", "FuncDef", "await_crossed", "build_cfg", "contains_await",
+    "guarded_statements",
+]

@@ -48,6 +48,25 @@ class Config:
         Canonicalized distribution names from ``[project]
         dependencies`` in the same ``pyproject.toml`` — the dependency
         floor DOM401 holds sim packages to.
+    async_packages:
+        Packages under the async-state contract (DOM501/DOM502):
+        long-running asyncio services whose shared controller/registry
+        state must only mutate inside the synchronous epoch guard.
+    async_guarded_attrs:
+        ``self.<attr>`` roots DOM501 treats as shared controller or
+        registry state (the default names the conventional roles).
+    pool_packages:
+        Packages that hand work to a process pool (DOM503): callables
+        crossing the pool boundary must be picklable module-level
+        functions, not closures over mutable parent state.
+    taint_sanitizers:
+        Modules whose calls are *blessed* wall-clock/RNG boundaries —
+        taint (DOM105/DOM106) does not propagate through them.  The
+        repo's one sanctioned example is ``repro.telemetry.wallclock``.
+    transitive_waivers:
+        ``"pkg.a -> pkg.b"`` edges the transitive layering check
+        (DOM203) ignores.  Each waiver is a reviewed artifact, exactly
+        like a layers-table row.
     """
 
     root: Path
@@ -58,6 +77,12 @@ class Config:
     schema_recorder: Path
     schema_baseline: Path
     declared_deps: Tuple[str, ...] = ()
+    async_packages: Tuple[str, ...] = ()
+    async_guarded_attrs: Tuple[str, ...] = (
+        "engine", "registry", "state", "controller", "cache")
+    pool_packages: Tuple[str, ...] = ()
+    taint_sanitizers: Tuple[str, ...] = ()
+    transitive_waivers: Tuple[Tuple[str, str], ...] = ()
 
     def dep_declared(self, top_module: str) -> bool:
         """Is the top-level import name covered by a declared dep?
@@ -95,10 +120,23 @@ class Config:
         return ".".join(parts[:2])
 
     def in_sim_packages(self, module: str) -> bool:
-        return any(
-            module == pkg or module.startswith(pkg + ".")
-            for pkg in self.sim_packages
-        )
+        return _in_any(module, self.sim_packages)
+
+    def in_async_packages(self, module: str) -> bool:
+        return _in_any(module, self.async_packages)
+
+    def in_pool_packages(self, module: str) -> bool:
+        return _in_any(module, self.pool_packages)
+
+    def is_sanitizer(self, module: str) -> bool:
+        return _in_any(module, self.taint_sanitizers)
+
+
+def _in_any(module: str, packages: Tuple[str, ...]) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in packages
+    )
 
 
 def _canonical_dep(name: str) -> str:
@@ -171,6 +209,18 @@ def load_config(start: Optional[Path] = None) -> Config:
             )
         layers[str(package)] = tuple(allowed)
 
+    waivers = []
+    for entry in _strings("transitive-waivers"):
+        parts = [part.strip() for part in entry.split("->")]
+        if len(parts) != 2 or not all(parts):
+            raise ConfigError(
+                "[tool.dominolint] transitive-waivers entries must look "
+                f"like 'pkg.a -> pkg.b' (got {entry!r})"
+            )
+        waivers.append((parts[0], parts[1]))
+
+    guarded = _strings("async-guarded-attrs")
+
     requirements = data.get("project", {}).get("dependencies", [])
     if not isinstance(requirements, list) or not all(
         isinstance(item, str) for item in requirements
@@ -194,4 +244,10 @@ def load_config(start: Optional[Path] = None) -> Config:
         schema_baseline=_path(
             "schema-baseline", "src/repro/lint/schema_baseline.json"),
         declared_deps=tuple(declared),
+        async_packages=tuple(_strings("async-packages")),
+        async_guarded_attrs=(tuple(guarded) if guarded
+                             else Config.async_guarded_attrs),
+        pool_packages=tuple(_strings("pool-packages")),
+        taint_sanitizers=tuple(_strings("taint-sanitizers")),
+        transitive_waivers=tuple(waivers),
     )

@@ -21,7 +21,7 @@ of the same point are byte-identical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..topology.builder import Topology
@@ -149,7 +149,7 @@ class PointResult:
     #: :attr:`ExperimentPoint.phase_timing`.
     phases: Optional[Dict[str, float]] = None
 
-    def flow_mbps(self, flow) -> float:
+    def flow_mbps(self, flow: Any) -> float:
         key = (flow.src, flow.dst) if hasattr(flow, "src") else tuple(flow)
         for summary in self.flows:
             if summary.flow == key:

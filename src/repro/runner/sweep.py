@@ -38,7 +38,7 @@ import queue as queue_mod
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from ..telemetry.jsonl import dumps_record
 from .points import (ExperimentPoint, FlowSummary, PointResult, SweepResult,
@@ -70,7 +70,7 @@ class EngineDivergence(AssertionError):
     """
 
 
-def _reduce(point: ExperimentPoint, result, wall_s: float,
+def _reduce(point: ExperimentPoint, result: Any, wall_s: float,
             keep_trace: bool, diagnose: bool = False) -> PointResult:
     """Collapse a live ``RunResult`` into a picklable ``PointResult``."""
     from ..telemetry.analysis import summarize_causality
@@ -186,12 +186,14 @@ def _cross_check(point: ExperimentPoint, records: List[dict],
 
 # -- heartbeat plumbing (parallel path) ----------------------------------
 
-#: Worker-side heartbeat queue, installed by the pool initializer.
-#: ``None`` means "sweep not being watched" and costs one ``if``.
-_HEARTBEATS = None
+#: Worker-side heartbeat queue (a manager-proxy queue, typed loosely
+#: because the proxy class is synthesized at runtime), installed by
+#: the pool initializer.  ``None`` means "sweep not being watched"
+#: and costs one ``if``.
+_HEARTBEATS: Optional[Any] = None
 
 
-def _pool_init(heartbeats) -> None:
+def _pool_init(heartbeats: Any) -> None:
     global _HEARTBEATS
     _HEARTBEATS = heartbeats
 
@@ -218,13 +220,14 @@ def _pool_run_point(index: int, point: ExperimentPoint, trace: bool,
     return result
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else methods[0])
 
 
-def _resolve_emit(progress) -> Optional[Callable[[str], None]]:
+def _resolve_emit(progress: Union[None, bool, Callable[[str], None]],
+                  ) -> Optional[Callable[[str], None]]:
     if progress is None or progress is False:
         return None
     if progress is True:
@@ -332,7 +335,7 @@ def scheme_sweep(schemes: Sequence[str], topology: TopologySpec, *,
                  horizon_us: float, warmup_us: float = 100_000.0,
                  seed: int = 1, label_prefix: str = "",
                  engine: str = "event",
-                 **run_kwargs) -> List[ExperimentPoint]:
+                 **run_kwargs: Any) -> List[ExperimentPoint]:
     """Convenience: the same topology/traffic across several schemes."""
     return [
         ExperimentPoint(

@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..core.conversion_cache import ConversionCache, conversion_topology_key
 from ..core.converter import ConverterConfig, ScheduleConverter
 from ..core.relative_schedule import RelativeBatch, TriggerDuty
-from ..sched.interference_map import InterferenceMap
+from ..topology.interference_map import InterferenceMap
 from ..sched.rand_scheduler import RandScheduler
 from ..telemetry.wallclock import perf_counter
 from ..topology.conflict_graph import (ConflictDelta, build_conflict_graph,

@@ -9,6 +9,7 @@ whose hearing/conflict semantics the paper specifies exactly.
 from .builder import (Topology, TopologyError, build_t_topology,
                       fig1_topology, fig7_topology, fig13a_topology,
                       fig13b_topology, random_t_topology, usrp_pair_topology)
+from .interference_map import InterferenceMap
 from .conflict_graph import (ConflictGraphUpdateCost, build_conflict_graph,
                              greedy_maximal_extension, hearing_graph,
                              is_independent_set)
@@ -30,7 +31,7 @@ __all__ = [
     "beacon_rounds", "build_conflict_graph", "build_t_topology",
     "campaign_overhead_fraction", "fig13a_topology", "fig13b_topology",
     "fig1_topology", "fig7_topology", "greedy_maximal_extension",
-    "grid_placement", "hearing_graph", "is_independent_set",
+    "grid_placement", "hearing_graph", "InterferenceMap", "is_independent_set",
     "manual_trace", "matrix_rss_fn", "move_node", "place_near",
     "random_placement", "random_t_topology", "two_building_placement",
     "two_building_trace", "two_hop_graph", "usrp_pair_topology",

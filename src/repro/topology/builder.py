@@ -32,6 +32,7 @@ from ..sim.engine import Simulator
 from ..sim.medium import Medium
 from ..sim.node import Network
 from ..sim.phy import DOT11G, PhyProfile
+from .interference_map import InterferenceMap
 from .links import Link
 from .propagation import NS3_DEFAULT, LogDistanceModel
 from .trace import SyntheticTrace, manual_trace
@@ -58,14 +59,7 @@ class Topology:
     flows: List[Link] = field(default_factory=list)
     name: str = "topology"
 
-    def interference_map(self, margin_db: float = 3.0) -> "InterferenceMap":
-        # Deliberate upward edge, deferred to call time: sched sits
-        # above topology in the layering DAG (it consumes conflict
-        # graphs), so the convenience accessor here must lazy-import to
-        # avoid a topology <-> sched cycle when either package loads
-        # first.  Suppressed rather than added to the layers table so
-        # the table stays a DAG.
-        from ..sched.interference_map import InterferenceMap  # dominolint: disable=DOM201
+    def interference_map(self, margin_db: float = 3.0) -> InterferenceMap:
         return InterferenceMap(self.trace.rss_fn(), self.profile,
                                margin_db=margin_db)
 

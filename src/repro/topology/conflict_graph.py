@@ -23,7 +23,7 @@ import networkx as nx
 from .links import Link
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..sched.interference_map import InterferenceMap
+    from .interference_map import InterferenceMap
 
 
 def build_conflict_graph(imap: "InterferenceMap",

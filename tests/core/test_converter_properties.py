@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.converter import ScheduleConverter
 from repro.core.relative_schedule import build_programs
-from repro.sched.interference_map import InterferenceMap
+from repro.topology.interference_map import InterferenceMap
 from repro.sched.rand_scheduler import RandScheduler
 from repro.sim.phy import DOT11G
 from repro.topology.conflict_graph import build_conflict_graph

@@ -1,0 +1,7 @@
+"""One half of the DOM203 cycle fixture: a table-legal edge to cyc_b."""
+
+from ..cyc_b import ping
+
+
+def pong():
+    return ping() + 1

@@ -1,0 +1,15 @@
+"""Other half of the cycle: a lazy, DOM201-suppressed import back.
+
+The per-edge rule is silenced in place — exactly how the historical
+``topology -> sched`` cycle survived — so only the transitive check
+(DOM203) can see the loop.
+"""
+
+
+def ping():
+    return 1
+
+
+def boot():
+    from ..cyc_a import pong  # dominolint: disable=DOM201
+    return pong()

@@ -1,0 +1,1 @@
+"""Helper layer for the taint fixtures: below fake.sim, above nothing."""

@@ -1,0 +1,11 @@
+"""Process-global RNG laundering helpers (the DOM106 supply chain)."""
+
+import random
+
+
+def draw():
+    return random.random()
+
+
+def reroll():
+    return draw() * 2.0

@@ -1,0 +1,17 @@
+"""Wall-clock laundering helpers (the DOM105 fixture's supply chain).
+
+This module is *not* in sim-packages, so DOM101 has no opinion about
+it — which is the whole point: the clock read hides here, two call
+hops away from the sim code that consumes it.
+"""
+
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def jittered_now():
+    base = read_clock()
+    return base + 0.5

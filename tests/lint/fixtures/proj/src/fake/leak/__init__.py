@@ -1,0 +1,1 @@
+"""Bottom-layer package for the transitive-leak fixture."""

@@ -1,0 +1,12 @@
+"""DOM203 fixture: a suppressed direct edge still leaks transitively.
+
+The inline suppression pays for the ``leak -> sim`` edge itself, but
+everything sim reaches (telemetry, helpers) now flows into a package
+whose layers row allows nothing — the structural rule still fires.
+"""
+
+from ..sim import good  # dominolint: disable=DOM201
+
+
+def peek():
+    return good.due(0.0, 0.0)

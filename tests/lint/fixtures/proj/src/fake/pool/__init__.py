@@ -1,0 +1,1 @@
+"""Process-pool layer: under the pool-boundary contract (DOM503)."""

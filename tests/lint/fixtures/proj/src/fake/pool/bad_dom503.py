@@ -1,0 +1,15 @@
+"""DOM503 fixture: unpicklable callables cross the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(points):
+    scale = 2.0
+
+    def work(point):
+        return point * scale
+
+    with ProcessPoolExecutor() as executor:
+        futures = [executor.submit(work, p) for p in points]
+        doubled = executor.map(lambda p: p + p, points)
+    return futures, list(doubled)

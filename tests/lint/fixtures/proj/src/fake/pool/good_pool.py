@@ -1,0 +1,12 @@
+"""Compliant pool hand-off: a module-level, picklable entry point."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(point):
+    return point * 2
+
+
+def run_all(points):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, points))

@@ -1,0 +1,13 @@
+"""DOM105 fixture: wall-clock taint arrives through two call hops.
+
+Nothing in this file touches ``time`` — the syntactic DOM101 pass is
+clean by construction.  The dataflow engine must follow
+``jittered_now -> read_clock -> time.time()`` to flag the call.
+"""
+
+from ..helpers.lure import jittered_now
+
+
+def stamp_frame(frame):
+    frame_time = jittered_now()
+    return frame, frame_time

@@ -1,0 +1,11 @@
+"""Sanitizer fixture: the blessed wallclock module cuts the chain.
+
+Same shape as ``bad_dom105.py``, but the helper lives in the
+configured ``taint-sanitizers`` module — no finding.
+"""
+
+from ..telemetry.wallclock import span_s
+
+
+def measure(frame):
+    return frame, span_s()

@@ -1,0 +1,1 @@
+"""Async service layer: under the async-state contract (DOM5xx)."""

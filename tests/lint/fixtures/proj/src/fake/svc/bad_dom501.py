@@ -1,0 +1,19 @@
+"""DOM501 fixture: guarded state mutated across an await boundary."""
+
+import asyncio
+
+
+class Controller:
+    def __init__(self):
+        self.registry = {}
+        self._revision_lock = asyncio.Lock()
+
+    async def apply(self, key):
+        staged = await self.compute(key)
+        self.registry[key] = staged
+        self.registry.update({key: staged})
+        return staged
+
+    async def compute(self, key):
+        await asyncio.sleep(0)
+        return key

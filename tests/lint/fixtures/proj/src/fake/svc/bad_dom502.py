@@ -1,0 +1,8 @@
+"""DOM502 fixture: a task spawned with its handle dropped."""
+
+import asyncio
+
+
+async def kickoff(worker):
+    asyncio.create_task(worker())
+    await asyncio.sleep(0)

@@ -1,0 +1,37 @@
+"""Compliant async service: every DOM5xx pattern done right.
+
+Guarded state mutates before the first await or inside the lock;
+spawned tasks keep their handles (and a task group owns its own).
+"""
+
+import asyncio
+
+
+class Guarded:
+    def __init__(self):
+        self.registry = {}
+        self._revision_lock = asyncio.Lock()
+        self._tasks = set()
+
+    async def apply(self, key):
+        self.registry.setdefault(key, 0)  # before the first await: fine
+        staged = await self.compute(key)
+        async with self._revision_lock:
+            self.registry[key] = staged
+        return staged
+
+    async def compute(self, key):
+        await asyncio.sleep(0)
+        return key
+
+    def spawn(self, coro):
+        task = asyncio.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+
+async def run_group(workers):
+    async with asyncio.TaskGroup() as tg:
+        for worker in workers:
+            tg.create_task(worker())

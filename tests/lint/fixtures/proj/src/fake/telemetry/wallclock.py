@@ -1,0 +1,12 @@
+"""The blessed wall-clock boundary (``taint-sanitizers`` in config).
+
+Functions here *do* read the clock, but their contract — readings
+feed telemetry, never simulation state — is reviewed, so the taint
+engine treats the module as a sink, not a source.
+"""
+
+import time
+
+
+def span_s():
+    return time.time()

@@ -12,21 +12,34 @@ BAD_FIXTURES = [
     ("src/fake/sim/bad_dom102.py", "DOM102"),
     ("src/fake/sim/bad_dom103.py", "DOM103"),
     ("src/fake/sim/bad_dom104.py", "DOM104"),
+    ("src/fake/sim/bad_dom105.py", "DOM105"),
+    ("src/fake/sim/bad_dom106.py", "DOM106"),
     ("src/fake/sim/bad_dom401.py", "DOM401"),
     ("src/fake/util/bad_dom201.py", "DOM201"),
     ("src/fake/rogue/bad_dom202.py", "DOM202"),
+    ("src/fake/leak/bad_dom203.py", "DOM203"),
+    ("src/fake/cyc_b/__init__.py", "DOM203"),
     ("src/fake/app/bad_dom301.py", "DOM301"),
     ("src/fake/app/bad_dom302.py", "DOM302"),
+    ("src/fake/svc/bad_dom501.py", "DOM501"),
+    ("src/fake/svc/bad_dom502.py", "DOM502"),
+    ("src/fake/pool/bad_dom503.py", "DOM503"),
 ]
 
 GOOD_FIXTURES = [
     "src/fake/sim/good.py",
     "src/fake/sim/good_deps.py",
+    "src/fake/sim/good_taint.py",
     "src/fake/sim/suppressed.py",
     "src/fake/util/good.py",
     "src/fake/app/good_emit.py",
+    "src/fake/svc/good_async.py",
+    "src/fake/pool/good_pool.py",
+    "src/fake/helpers/lure.py",
+    "src/fake/helpers/entropy.py",
     "src/fake/telemetry/events.py",
     "src/fake/telemetry/recorder.py",
+    "src/fake/telemetry/wallclock.py",
 ]
 
 

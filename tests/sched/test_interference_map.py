@@ -1,7 +1,7 @@
 """Tests for the central interference map."""
 
 
-from repro.sched.interference_map import InterferenceMap
+from repro.topology.interference_map import InterferenceMap
 from repro.sim.phy import DOT11G
 from repro.topology.builder import fig1_topology
 from repro.topology.links import Link
